@@ -1,0 +1,24 @@
+//! # prkb-analysis
+//!
+//! The paper's §8.1 security study: how much ordering information does the
+//! EDBMS model (selection results visible to SP) actually leak in practice?
+//!
+//! * [`order`] — partial-order recovery: simulate an attacker observing the
+//!   results of comparison queries and consolidating them into partial
+//!   order partitions (the same reasoning PRKB performs, run here over the
+//!   information content directly).
+//! * [`rpoi`] — the *Recovered Portion of Ordering Information* metric and
+//!   the Table 2 experiment driver.
+//! * [`ope`] — the contrast case: an order-preserving encoding à la
+//!   CryptDB, for which RPOI is 100% before any query is observed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ope;
+pub mod order;
+pub mod rpoi;
+
+pub use ope::{ope_rpoi, OpeTable};
+pub use order::OrderRecovery;
+pub use rpoi::{rpoi_for_queries, RpoiCurve};

@@ -1,0 +1,164 @@
+//! Partial-order recovery from observed selection results.
+//!
+//! The attacker of §3.3/§8.1 has compromised the service provider and sees,
+//! for every comparison query, which encrypted tuples satisfied it. Each
+//! inequivalent query contributes one *cut* in the hidden value order; after
+//! `q` queries the attacker's knowledge is exactly a sequence of partial
+//! order partitions, whose longest chain has one element per partition.
+//!
+//! This module computes that knowledge directly from the information
+//! content: a cut below `c` splits the sorted multiset at rank
+//! `#{v < c}`, so the recovered partition count is the number of distinct
+//! non-trivial split ranks plus one. This is what PRKB would materialize,
+//! without paying to materialize it 1M queries long.
+
+use std::collections::HashSet;
+
+/// Simulates an attacker consolidating comparison-query results.
+#[derive(Debug, Clone)]
+pub struct OrderRecovery {
+    sorted: Vec<u64>,
+    n_distinct: usize,
+    cut_ranks: HashSet<usize>,
+}
+
+impl OrderRecovery {
+    /// Starts a recovery over the attribute's (plain) values.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn new(values: &[u64]) -> Self {
+        assert!(!values.is_empty(), "attacker needs a victim dataset");
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let mut n_distinct = 1;
+        for w in sorted.windows(2) {
+            if w[0] != w[1] {
+                n_distinct += 1;
+            }
+        }
+        OrderRecovery {
+            sorted,
+            n_distinct,
+            cut_ranks: HashSet::new(),
+        }
+    }
+
+    /// Observes the result of a predicate `X < c` (or the equivalent
+    /// knowledge from `X ≥ c` — same partitioning).
+    pub fn observe_cut_below(&mut self, c: u64) {
+        let rank = self.sorted.partition_point(|&v| v < c);
+        self.record(rank);
+    }
+
+    /// Observes the result of a predicate `X > c` (or `X ≤ c`).
+    pub fn observe_cut_above(&mut self, c: u64) {
+        let rank = self.sorted.partition_point(|&v| v <= c);
+        self.record(rank);
+    }
+
+    fn record(&mut self, rank: usize) {
+        if rank > 0 && rank < self.sorted.len() {
+            self.cut_ranks.insert(rank);
+        }
+    }
+
+    /// Number of partial order partitions recovered so far (`k`).
+    pub fn partitions(&self) -> usize {
+        self.cut_ranks.len() + 1
+    }
+
+    /// Number of distinct plain values (the total order length).
+    pub fn n_distinct(&self) -> usize {
+        self.n_distinct
+    }
+
+    /// Recovered portion of ordering information:
+    /// recovered chain length / total order length.
+    pub fn rpoi(&self) -> f64 {
+        self.partitions() as f64 / self.n_distinct as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_recovery_knows_nothing() {
+        let r = OrderRecovery::new(&[5, 3, 9]);
+        assert_eq!(r.partitions(), 1);
+        assert_eq!(r.n_distinct(), 3);
+        assert!((r.rpoi() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cuts_accumulate_and_dedup() {
+        let mut r = OrderRecovery::new(&[1, 2, 3, 4]);
+        r.observe_cut_below(3); // rank 2
+        assert_eq!(r.partitions(), 2);
+        r.observe_cut_below(3); // same cut: no new knowledge
+        assert_eq!(r.partitions(), 2);
+        r.observe_cut_above(2); // rank 2 again (X > 2 ≡ X < 3 here)
+        assert_eq!(r.partitions(), 2);
+        r.observe_cut_below(2); // rank 1: new
+        assert_eq!(r.partitions(), 3);
+    }
+
+    #[test]
+    fn trivial_cuts_give_nothing() {
+        let mut r = OrderRecovery::new(&[10, 20, 30]);
+        r.observe_cut_below(5); // everything ≥ 5: rank 0
+        r.observe_cut_below(100); // everything < 100: rank 3
+        r.observe_cut_above(100);
+        assert_eq!(r.partitions(), 1);
+    }
+
+    #[test]
+    fn full_recovery_reaches_total_order() {
+        let values = [4u64, 8, 15, 16, 23, 42];
+        let mut r = OrderRecovery::new(&values);
+        for c in 0..=43u64 {
+            r.observe_cut_below(c);
+        }
+        assert_eq!(r.partitions(), 6);
+        assert!((r.rpoi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_cap_recovery() {
+        // Only 2 distinct values: at most 2 partitions ever.
+        let mut r = OrderRecovery::new(&[7, 7, 7, 9, 9]);
+        for c in 0..20u64 {
+            r.observe_cut_below(c);
+            r.observe_cut_above(c);
+        }
+        assert_eq!(r.partitions(), 2);
+        assert_eq!(r.n_distinct(), 2);
+        assert!((r.rpoi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_prkb_partition_count() {
+        // The analytic recovery must agree with the PRKB engine's k on the
+        // same query stream — they formalize the same knowledge.
+        use prkb_core::{EngineConfig, PrkbEngine};
+        use prkb_edbms::testing::PlainOracle;
+        use prkb_edbms::{ComparisonOp, Predicate};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let values: Vec<u64> = (0..400).map(|_| rng.gen_range(0..1000u64)).collect();
+        let oracle = PlainOracle::single_column(values.clone());
+        let mut engine: PrkbEngine<Predicate> = PrkbEngine::new(EngineConfig::default());
+        engine.init_attr(0, values.len());
+        let mut rec = OrderRecovery::new(&values);
+        for _ in 0..60 {
+            let c = rng.gen_range(0..1000u64);
+            engine.select(&oracle, &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng);
+            rec.observe_cut_below(c);
+            assert_eq!(engine.knowledge(0).unwrap().k(), rec.partitions());
+        }
+    }
+}

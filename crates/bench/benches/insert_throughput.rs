@@ -1,0 +1,58 @@
+//! Insertion benchmarks (micro Table 4): full insert path — encrypt row,
+//! store, maintain index — for PRKB vs Logarithmic-SRC-i.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prkb_bench::harness::{fresh_engine, warm_to_k, EncSetup};
+use prkb_datagen::{synthetic, SYNTH_DOMAIN_MAX, SYNTH_DOMAIN_MIN};
+use prkb_edbms::{SpOracle, TupleId};
+use prkb_srci::{SrciClient, SrciConfig, SrciIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 50_000;
+
+fn bench_insert(c: &mut Criterion) {
+    let col = synthetic::uniform_column(N, 21);
+    let mut setup = EncSetup::new("ins", vec![col.clone()], 21);
+    let mut rng = StdRng::seed_from_u64(22);
+
+    let mut engine = fresh_engine(&setup, true);
+    warm_to_k(&mut engine, &setup, 0, 250, 0.01, 23);
+    engine.config.update = false;
+
+    let (tk, pk) = setup.owner.search_keys("ins", 0);
+    let client = SrciClient::new(tk, pk);
+    let mut srci = SrciIndex::build(
+        &client,
+        SrciConfig {
+            domain: (SYNTH_DOMAIN_MIN, SYNTH_DOMAIN_MAX),
+            bucket_bits: 16,
+        },
+        &col,
+    );
+
+    let mut g = c.benchmark_group("insert_path");
+    g.bench_function("prkb_insert", |b| {
+        b.iter(|| {
+            let v = rng.gen_range(SYNTH_DOMAIN_MIN..=SYNTH_DOMAIN_MAX);
+            let cells = setup.owner.encrypt_row("ins", &[v], &mut rng);
+            let refs: Vec<&[u8]> = cells.iter().map(Vec::as_slice).collect();
+            let t = setup.table.push_encrypted_row(&refs).expect("arity");
+            let oracle = SpOracle::new(&setup.table, &setup.tm);
+            engine.insert(&oracle, t)
+        })
+    });
+    let mut next: TupleId = 10_000_000;
+    g.bench_function("srci_insert", |b| {
+        b.iter(|| {
+            let v = rng.gen_range(SYNTH_DOMAIN_MIN..=SYNTH_DOMAIN_MAX);
+            let _cells = setup.owner.encrypt_row("ins", &[v], &mut rng);
+            next += 1;
+            srci.insert(&client, next, v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

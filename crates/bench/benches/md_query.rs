@@ -1,0 +1,87 @@
+//! Multi-dimensional query benchmarks (micro Figs. 11–12): PRKB(MD) vs
+//! PRKB(SD+) vs Logarithmic-SRC-i at d = 2..4 on the encrypted pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prkb_bench::harness::{fresh_engine, warm_to_k, EncSetup};
+use prkb_core::MdUpdatePolicy;
+use prkb_datagen::{synthetic, WorkloadGen, SYNTH_DOMAIN_MAX, SYNTH_DOMAIN_MIN};
+use prkb_edbms::{AttrId, EncryptedPredicate};
+use prkb_srci::{confirm, MultiDimSrci, SrciClient, SrciConfig, SrciIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 50_000;
+
+fn bench_md(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md_query_50k_2pct");
+    g.sample_size(15);
+    for d in [2usize, 3, 4] {
+        let cols = synthetic::table(N, d, synthetic::ColumnCorrelation::Independent, 3);
+        let setup = EncSetup::new("mdq", cols.clone(), 3);
+        let oracle = setup.oracle();
+        let mut rng = StdRng::seed_from_u64(4);
+
+        let mut engine = fresh_engine(&setup, true);
+        for a in 0..d {
+            warm_to_k(&mut engine, &setup, a as AttrId, 150, 0.02, 5 + a as u64);
+        }
+        engine.config.update = false;
+        engine.config.md_policy = MdUpdatePolicy::Frozen;
+
+        let (tk, pk) = setup.owner.search_keys("mdq", 0);
+        let client = SrciClient::new(tk, pk);
+        let mut srci = MultiDimSrci::new();
+        for (a, col) in cols.iter().enumerate() {
+            srci.add_dim(
+                a as AttrId,
+                SrciIndex::build(
+                    &client,
+                    SrciConfig {
+                        domain: (SYNTH_DOMAIN_MIN, SYNTH_DOMAIN_MAX),
+                        bucket_bits: 14,
+                    },
+                    col,
+                ),
+            );
+        }
+
+        let ranges: Vec<(u64, u64)> = cols
+            .iter()
+            .map(|col| {
+                let gen = WorkloadGen::new(col, (SYNTH_DOMAIN_MIN, SYNTH_DOMAIN_MAX));
+                let r = gen.range_with_selectivity(0.02, &mut rng);
+                (r.lo, r.hi)
+            })
+            .collect();
+        let dims: Vec<[EncryptedPredicate; 2]> = ranges
+            .iter()
+            .enumerate()
+            .map(|(a, &(lo, hi))| setup.range_trapdoors(a as AttrId, lo, hi, &mut rng))
+            .collect();
+        let flat: Vec<EncryptedPredicate> = dims.iter().flatten().cloned().collect();
+        let srci_ranges: Vec<(AttrId, u64, u64)> = ranges
+            .iter()
+            .enumerate()
+            .map(|(a, &(lo, hi))| (a as AttrId, lo + 1, hi - 1))
+            .collect();
+
+        g.bench_with_input(BenchmarkId::new("prkb_md", d), &d, |b, _| {
+            let mut q_rng = StdRng::seed_from_u64(6);
+            b.iter(|| engine.select_range_md(&oracle, &dims, &mut q_rng))
+        });
+        g.bench_with_input(BenchmarkId::new("prkb_sdplus", d), &d, |b, _| {
+            let mut q_rng = StdRng::seed_from_u64(6);
+            b.iter(|| engine.select_range_sdplus(&oracle, &dims, &mut q_rng))
+        });
+        g.bench_with_input(BenchmarkId::new("srci", d), &d, |b, _| {
+            b.iter(|| {
+                let cands = srci.candidates(&client, &srci_ranges);
+                confirm(&oracle, &flat, &cands)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_md);
+criterion_main!(benches);

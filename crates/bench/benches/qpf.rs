@@ -1,0 +1,36 @@
+//! Microbenchmark substantiating the paper's premise (§3.2): a QPF
+//! evaluation (decrypt inside the trusted machine + compare) is far more
+//! expensive than a plain comparison — which is why saving QPF uses saves
+//! query time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prkb_bench::harness::EncSetup;
+use prkb_edbms::{ComparisonOp, TmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_qpf(c: &mut Criterion) {
+    let setup = EncSetup::new("qpf", vec![(0..10_000u64).collect()], 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let pred = setup.cmp_trapdoor(0, ComparisonOp::Lt, 5_000, &mut rng);
+    let cell = setup.table.cell(0, 1234).expect("cell");
+
+    let mut g = c.benchmark_group("qpf_premise");
+    g.bench_function("plain_comparison", |b| {
+        let x = black_box(1234u64);
+        let y = black_box(5000u64);
+        b.iter(|| black_box(x < y))
+    });
+    g.bench_function("qpf_decrypt_and_compare", |b| {
+        b.iter(|| setup.tm.qpf(black_box(&pred), black_box(cell)).expect("valid"))
+    });
+    // An enclave with a work factor (emulating round-trip latency).
+    let slow_tm = setup.owner.trusted_machine(TmConfig { work_factor: 16, ..TmConfig::default() });
+    g.bench_function("qpf_with_enclave_work_factor_16", |b| {
+        b.iter(|| slow_tm.qpf(black_box(&pred), black_box(cell)).expect("valid"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qpf);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Single-dimension query benchmarks (the micro version of Figs. 8–10):
+//! PRKB(SD) with a warmed index vs the index-less Baseline vs
+//! Logarithmic-SRC-i, per query, on the real encrypted pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prkb_bench::harness::{fresh_engine, warm_to_k, EncSetup};
+use prkb_datagen::{synthetic, WorkloadGen, SYNTH_DOMAIN_MAX, SYNTH_DOMAIN_MIN};
+use prkb_edbms::select::conjunctive_scan;
+use prkb_srci::{confirm, SrciClient, SrciConfig, SrciIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 100_000;
+
+fn bench_sd(c: &mut Criterion) {
+    let col = synthetic::uniform_column(N, 7);
+    let setup = EncSetup::new("sdq", vec![col.clone()], 7);
+    let oracle = setup.oracle();
+    let gen = WorkloadGen::new(&col, (SYNTH_DOMAIN_MIN, SYNTH_DOMAIN_MAX));
+    let mut rng = StdRng::seed_from_u64(8);
+
+    let mut engine = fresh_engine(&setup, true);
+    warm_to_k(&mut engine, &setup, 0, 250, 0.01, 9);
+    engine.config.update = false;
+
+    let (tk, pk) = setup.owner.search_keys("sdq", 0);
+    let client = SrciClient::new(tk, pk);
+    let srci = SrciIndex::build(
+        &client,
+        SrciConfig {
+            domain: (SYNTH_DOMAIN_MIN, SYNTH_DOMAIN_MAX),
+            bucket_bits: 16,
+        },
+        &col,
+    );
+
+    let mut g = c.benchmark_group("sd_query_100k_1pct");
+    g.sample_size(20);
+    for sel in [0.01f64, 0.05] {
+        let r = gen.range_with_selectivity(sel, &mut rng);
+        let preds = setup.range_trapdoors(0, r.lo, r.hi, &mut rng);
+        g.bench_with_input(BenchmarkId::new("prkb_sd", format!("{sel}")), &sel, |b, _| {
+            let mut q_rng = StdRng::seed_from_u64(10);
+            b.iter(|| {
+                for p in &preds {
+                    engine.select(&oracle, p, &mut q_rng);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("srci", format!("{sel}")), &sel, |b, _| {
+            b.iter(|| {
+                let cands = srci.candidates(&client, r.lo + 1, r.hi - 1);
+                confirm(&oracle, &preds, &cands)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", format!("{sel}")), &sel, |b, _| {
+            b.iter(|| conjunctive_scan(&oracle, &preds))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sd);
+criterion_main!(benches);

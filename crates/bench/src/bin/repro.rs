@@ -1,0 +1,49 @@
+//! `repro` — regenerates every table and figure of the PRKB paper.
+//!
+//! ```text
+//! cargo run -p prkb-bench --bin repro --release -- all
+//! cargo run -p prkb-bench --bin repro --release -- table2 fig8 fig13
+//! PRKB_SCALE=paper cargo run -p prkb-bench --bin repro --release -- table3
+//! ```
+
+use prkb_bench::{
+    exp_fig11_fig12, exp_fig13, exp_fig8, exp_fig9_fig10, exp_table2, exp_table3, exp_table4,
+    Scale,
+};
+
+const ALL: [&str; 8] = [
+    "table2", "fig8", "table3", "fig9", "fig10", "fig11", "fig12", "fig13",
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<&str> = args.iter().map(String::as_str).collect();
+    if wanted.is_empty() || wanted == ["all"] {
+        wanted = ALL.to_vec();
+        wanted.push("table4");
+    }
+
+    eprintln!(
+        "# PRKB paper reproduction — scale: {} (set PRKB_SCALE=ci|default|paper)",
+        scale.tag()
+    );
+    for exp in wanted {
+        let out = match exp {
+            "table2" => exp_table2::run(scale),
+            "fig8" => exp_fig8::run(scale),
+            "table3" => exp_table3::run(scale),
+            "fig9" => exp_fig9_fig10::run_fig9(scale),
+            "fig10" => exp_fig9_fig10::run_fig10(scale),
+            "fig11" => exp_fig11_fig12::run_fig11(scale),
+            "fig12" => exp_fig11_fig12::run_fig12(scale),
+            "fig13" => exp_fig13::run(scale),
+            "table4" => exp_table4::run(scale),
+            other => {
+                eprintln!("unknown experiment {other:?}; known: {ALL:?} + table4 | all");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Shared experiment infrastructure: encrypted-pipeline setup, PRKB
+//! warm-up, predicate construction, timing, and report formatting.
+
+use prkb_core::{EngineConfig, MdUpdatePolicy, PrkbEngine};
+use prkb_datagen::WorkloadGen;
+use prkb_edbms::{
+    AttrId, ComparisonOp, DataOwner, EncryptedPredicate, EncryptedTable, PlainTable, Predicate,
+    Schema, SpOracle, TmConfig, TrustedMachine,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A fully provisioned encrypted pipeline: owner, encrypted table, TM, and
+/// the plaintext columns (owner-side knowledge used to build workloads).
+pub struct EncSetup {
+    /// The data owner (keys, trapdoors).
+    pub owner: DataOwner,
+    /// The encrypted table at the service provider.
+    pub table: EncryptedTable,
+    /// The trusted machine at the service provider's site.
+    pub tm: TrustedMachine,
+    /// Owner-side plaintext columns (workload generation only).
+    pub columns: Vec<Vec<u64>>,
+    /// Table name.
+    pub name: String,
+}
+
+impl EncSetup {
+    /// Encrypts `columns` into a fresh pipeline.
+    ///
+    /// # Panics
+    /// Panics on ragged columns.
+    pub fn new(name: &str, columns: Vec<Vec<u64>>, seed: u64) -> Self {
+        let attrs: Vec<String> = (0..columns.len()).map(|i| format!("a{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let schema = Schema::new(name, &attr_refs);
+        let plain = PlainTable::from_columns(schema, columns.clone()).expect("rectangular columns");
+        let owner = DataOwner::with_seed(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE17C_0DE5);
+        let table = owner.encrypt_table(&plain, &mut rng);
+        let tm = owner.trusted_machine(TmConfig::default());
+        EncSetup {
+            owner,
+            table,
+            tm,
+            columns,
+            name: name.to_string(),
+        }
+    }
+
+    /// The service-provider oracle over this pipeline.
+    pub fn oracle(&self) -> SpOracle<'_> {
+        SpOracle::new(&self.table, &self.tm)
+    }
+
+    /// Issues the two comparison trapdoors of an exclusive range
+    /// `lo < X < hi` on `attr`.
+    pub fn range_trapdoors<Rn: rand::Rng>(
+        &self,
+        attr: AttrId,
+        lo: u64,
+        hi: u64,
+        rng: &mut Rn,
+    ) -> [EncryptedPredicate; 2] {
+        [
+            self.owner
+                .trapdoor(&self.name, &Predicate::cmp(attr, ComparisonOp::Gt, lo), rng)
+                .expect("comparison trapdoors are infallible"),
+            self.owner
+                .trapdoor(&self.name, &Predicate::cmp(attr, ComparisonOp::Lt, hi), rng)
+                .expect("comparison trapdoors are infallible"),
+        ]
+    }
+
+    /// Issues a single comparison trapdoor.
+    pub fn cmp_trapdoor<Rn: rand::Rng>(
+        &self,
+        attr: AttrId,
+        op: ComparisonOp,
+        bound: u64,
+        rng: &mut Rn,
+    ) -> EncryptedPredicate {
+        self.owner
+            .trapdoor(&self.name, &Predicate::cmp(attr, op, bound), rng)
+            .expect("comparison trapdoors are infallible")
+    }
+}
+
+/// Builds a PRKB engine over the setup's attributes.
+pub fn fresh_engine(setup: &EncSetup, update: bool) -> PrkbEngine<EncryptedPredicate> {
+    let mut engine = PrkbEngine::new(EngineConfig {
+        update,
+        md_policy: MdUpdatePolicy::PartialOnly,
+    });
+    for a in 0..setup.columns.len() {
+        engine.init_attr(a as AttrId, setup.table.len());
+    }
+    engine
+}
+
+/// Warms one attribute's PRKB to (at least) `target_k` partitions with
+/// random selectivity-`sel` range queries, then returns the number of
+/// warm-up queries issued. The engine's update flag must be on.
+pub fn warm_to_k(
+    engine: &mut PrkbEngine<EncryptedPredicate>,
+    setup: &EncSetup,
+    attr: AttrId,
+    target_k: usize,
+    sel: f64,
+    seed: u64,
+) -> usize {
+    let oracle = setup.oracle();
+    let gen = WorkloadGen::new(
+        &setup.columns[attr as usize],
+        column_domain(&setup.columns[attr as usize]),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = 0usize;
+    while engine.knowledge(attr).map_or(0, |k| k.k()) < target_k && queries < target_k * 20 {
+        let r = gen.range_with_selectivity(sel, &mut rng);
+        for p in setup.range_trapdoors(attr, r.lo, r.hi, &mut rng) {
+            engine.select(&oracle, &p, &mut rng);
+        }
+        queries += 1;
+    }
+    queries
+}
+
+/// Conservative inclusive domain bounds of a column.
+pub fn column_domain(col: &[u64]) -> (u64, u64) {
+    let lo = col.iter().copied().min().unwrap_or(0);
+    let hi = col.iter().copied().max().unwrap_or(0);
+    (lo, hi)
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Incremental report builder with aligned columns.
+#[derive(Debug, Default)]
+pub struct Report {
+    buf: String,
+}
+
+impl Report {
+    /// Starts a report with a title line.
+    pub fn new(title: &str) -> Self {
+        let mut r = Report { buf: String::new() };
+        let _ = writeln!(r.buf, "\n=== {title} ===");
+        r
+    }
+
+    /// Appends a formatted line.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let _ = writeln!(self.buf, "{}", s.as_ref());
+    }
+
+    /// Appends a row of right-aligned cells (width 14).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut line = String::new();
+        for c in cells {
+            let _ = write!(line, "{c:>14}");
+        }
+        let _ = writeln!(self.buf, "{line}");
+    }
+
+    /// The accumulated text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Formats a duration in ms with 3 significant decimals.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prkb_edbms::SelectionOracle;
+
+    #[test]
+    fn setup_and_engine_roundtrip() {
+        let cols = vec![(0..500u64).collect::<Vec<_>>()];
+        let setup = EncSetup::new("t", cols, 1);
+        let oracle = setup.oracle();
+        let mut engine = fresh_engine(&setup, true);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = setup.cmp_trapdoor(0, ComparisonOp::Lt, 100, &mut rng);
+        let sel = engine.select(&oracle, &p, &mut rng);
+        assert_eq!(sel.tuples.len(), 100);
+        assert_eq!(oracle.qpf_uses(), sel.stats.qpf_uses);
+    }
+
+    #[test]
+    fn warm_reaches_target_k() {
+        let cols = vec![(0..2000u64).collect::<Vec<_>>()];
+        let setup = EncSetup::new("t", cols, 3);
+        let mut engine = fresh_engine(&setup, true);
+        warm_to_k(&mut engine, &setup, 0, 50, 0.01, 4);
+        assert!(engine.knowledge(0).unwrap().k() >= 50);
+    }
+
+    #[test]
+    fn report_formats() {
+        let mut r = Report::new("demo");
+        r.row(&["a".into(), "b".into()]);
+        let s = r.finish();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("a"));
+    }
+}

@@ -1,0 +1,438 @@
+//! The PRKB engine: per-attribute knowledge bases behind one façade.
+//!
+//! This is the service-provider-side entry point a deployment would embed:
+//! it owns one [`Knowledge`] per indexed attribute, routes incoming
+//! trapdoors (comparison vs BETWEEN, single vs multi-dimensional), and
+//! keeps the index maintained across inserts and deletes.
+
+use crate::between::process_between;
+use crate::insert::{insert_tuple, InsertOutcome};
+use crate::knowledge::Knowledge;
+use crate::md::{process_range_md, MdDim, MdUpdatePolicy};
+use crate::sd::process_comparison;
+use crate::sdplus::process_range_sdplus;
+use crate::selection::Selection;
+use crate::traits::SpPredicate;
+use prkb_edbms::{AttrId, PredicateKind, SelectionOracle, TupleId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Whether single-dimension queries refine the index (`updatePRKB`).
+    /// Disable for the paper's "static PRKB" experiments.
+    pub update: bool,
+    /// Refinement policy for multi-dimensional queries.
+    pub md_policy: MdUpdatePolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            update: true,
+            md_policy: MdUpdatePolicy::PartialOnly,
+        }
+    }
+}
+
+/// The per-table PRKB engine.
+#[derive(Debug)]
+pub struct PrkbEngine<P> {
+    kbs: HashMap<AttrId, Knowledge<P>>,
+    /// Engine configuration (mutable between queries).
+    pub config: EngineConfig,
+}
+
+impl<P: SpPredicate> PrkbEngine<P> {
+    /// Creates an engine with no attribute indexed yet.
+    pub fn new(config: EngineConfig) -> Self {
+        PrkbEngine {
+            kbs: HashMap::new(),
+            config,
+        }
+    }
+
+    /// `initPRKB` for one attribute over a table of `n` tuples. Call once
+    /// per attribute, right after the encrypted table is uploaded.
+    pub fn init_attr(&mut self, attr: AttrId, n: usize) {
+        self.kbs.insert(attr, Knowledge::init(n));
+    }
+
+    /// The knowledge base for `attr`, if initialized.
+    pub fn knowledge(&self, attr: AttrId) -> Option<&Knowledge<P>> {
+        self.kbs.get(&attr)
+    }
+
+    /// Attributes currently indexed.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.kbs.keys().copied()
+    }
+
+    /// Processes a single-predicate selection, dispatching on the trapdoor's
+    /// SP-visible kind (comparison vs BETWEEN).
+    ///
+    /// # Panics
+    /// Panics if the predicate's attribute was never initialized — indexing
+    /// decisions are made at upload time in this engine.
+    pub fn select<O, R>(&mut self, oracle: &O, pred: &P, rng: &mut R) -> Selection
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        let update = self.config.update;
+        let kb = self
+            .kbs
+            .get_mut(&pred.attr())
+            .unwrap_or_else(|| panic!("attribute {} not initialized", pred.attr()));
+        match oracle.kind_of(pred) {
+            PredicateKind::Comparison => process_comparison(kb, oracle, pred, rng, update),
+            PredicateKind::Between => process_between(kb, oracle, pred, rng, update),
+        }
+    }
+
+    /// Processes a d-dimensional range query with PRKB(MD) (paper §6.2).
+    ///
+    /// `dims` holds the two comparison trapdoors of each dimension.
+    ///
+    /// # Panics
+    /// Panics on uninitialized attributes or duplicate dimensions.
+    pub fn select_range_md<O, R>(&mut self, oracle: &O, dims: &[[P; 2]], rng: &mut R) -> Selection
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        let policy = self.config.md_policy;
+        self.with_dims(dims, |md_dims| {
+            process_range_md(md_dims, oracle, rng, policy)
+        })
+    }
+
+    /// Processes a d-dimensional range query with the naive PRKB(SD+)
+    /// extension (paper §6, baseline).
+    ///
+    /// # Panics
+    /// Panics on uninitialized attributes or duplicate dimensions.
+    pub fn select_range_sdplus<O, R>(
+        &mut self,
+        oracle: &O,
+        dims: &[[P; 2]],
+        rng: &mut R,
+    ) -> Selection
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        let update = self.config.update;
+        self.with_dims(dims, |md_dims| {
+            process_range_sdplus(md_dims, oracle, rng, update)
+        })
+    }
+
+    fn with_dims<T>(&mut self, dims: &[[P; 2]], f: impl FnOnce(&mut [MdDim<P>]) -> T) -> T {
+        let mut md_dims: Vec<MdDim<P>> = Vec::with_capacity(dims.len());
+        for pair in dims {
+            let attr = pair[0].attr();
+            assert_eq!(attr, pair[1].attr(), "a dimension's trapdoors must share an attribute");
+            let knowledge = self
+                .kbs
+                .remove(&attr)
+                .unwrap_or_else(|| panic!("attribute {attr} not initialized or listed twice"));
+            md_dims.push(MdDim {
+                knowledge,
+                preds: pair.clone(),
+            });
+        }
+        let out = f(&mut md_dims);
+        for (dim, pair) in md_dims.into_iter().zip(dims) {
+            self.kbs.insert(pair[0].attr(), dim.knowledge);
+        }
+        out
+    }
+
+    /// Processes an arbitrary conjunction of trapdoors — the execution
+    /// entry point for parsed SQL selections (`prkb_edbms::sql`).
+    ///
+    /// Attributes contributing exactly two comparison trapdoors are
+    /// recognized as range dimensions and — when there are at least two such
+    /// dimensions — executed with PRKB(MD); every remaining trapdoor
+    /// (BETWEENs, lone comparisons) runs through the single-dimension
+    /// pipeline, and the result sets are intersected.
+    ///
+    /// # Panics
+    /// Panics if a referenced attribute was never initialized.
+    pub fn select_conjunction<O, R>(&mut self, oracle: &O, preds: &[P], rng: &mut R) -> Selection
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        use std::collections::BTreeMap;
+
+        let n = oracle.n_slots();
+        if preds.is_empty() {
+            let tuples = (0..n as TupleId).filter(|&t| oracle.is_live(t)).collect();
+            return Selection {
+                tuples,
+                ..Selection::default()
+            };
+        }
+        let qpf_before = oracle.qpf_uses();
+        let k_before: usize = self.kbs.values().map(Knowledge::k).sum();
+
+        // Group comparison trapdoors per attribute, preserving order.
+        let mut cmp_by_attr: BTreeMap<AttrId, Vec<P>> = BTreeMap::new();
+        let mut singles: Vec<P> = Vec::new();
+        for p in preds {
+            match oracle.kind_of(p) {
+                PredicateKind::Comparison => {
+                    cmp_by_attr.entry(p.attr()).or_default().push(p.clone())
+                }
+                PredicateKind::Between => singles.push(p.clone()),
+            }
+        }
+        let mut dims: Vec<[P; 2]> = Vec::new();
+        for (_, mut group) in cmp_by_attr {
+            // At most one pair per attribute: the MD grid owns each
+            // attribute's knowledge exclusively, so further comparisons on
+            // the same attribute run through the single-dimension pipeline.
+            if group.len() >= 2 {
+                let b = group.pop().expect("len >= 2");
+                let a = group.pop().expect("len >= 1");
+                dims.push([a, b]);
+            }
+            singles.extend(group);
+        }
+
+        let mut hits: Vec<u32> = vec![0; n];
+        let mut parts = 0u32;
+        let mut splits = 0usize;
+        if dims.len() >= 2 {
+            let sel = self.select_range_md(oracle, &dims, rng);
+            splits += sel.stats.splits;
+            parts += 1;
+            for t in sel.tuples {
+                hits[t as usize] += 1;
+            }
+        } else {
+            // Not enough dimensions for the grid: run them individually.
+            singles.extend(dims.into_iter().flatten());
+        }
+        for p in singles {
+            let sel = self.select(oracle, &p, rng);
+            splits += sel.stats.splits;
+            parts += 1;
+            for t in sel.tuples {
+                hits[t as usize] += 1;
+            }
+        }
+
+        let tuples: Vec<TupleId> = (0..n as TupleId)
+            .filter(|&t| hits[t as usize] == parts)
+            .collect();
+        Selection {
+            tuples,
+            stats: crate::selection::QueryStats {
+                qpf_uses: oracle.qpf_uses() - qpf_before,
+                k_before,
+                k_after: self.kbs.values().map(Knowledge::k).sum(),
+                splits,
+            },
+        }
+    }
+
+    /// Routes a freshly inserted tuple into every indexed attribute
+    /// (paper §7.1; O(β lg k) QPF uses in total).
+    pub fn insert<O>(&mut self, oracle: &O, t: TupleId) -> Vec<(AttrId, InsertOutcome)>
+    where
+        O: SelectionOracle<Pred = P>,
+    {
+        let mut outcomes: Vec<(AttrId, InsertOutcome)> = self
+            .kbs
+            .iter_mut()
+            .map(|(&attr, kb)| (attr, insert_tuple(kb, oracle, t)))
+            .collect();
+        outcomes.sort_by_key(|(a, _)| *a);
+        outcomes
+    }
+
+    /// Removes a deleted tuple from every indexed attribute (paper §7.2).
+    pub fn delete(&mut self, t: TupleId) {
+        for kb in self.kbs.values_mut() {
+            kb.delete(t);
+        }
+    }
+
+    /// Total index storage across attributes (Table 3 accounting).
+    pub fn storage_bytes(&self) -> usize {
+        self.kbs.values().map(Knowledge::storage_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prkb_edbms::testing::PlainOracle;
+    use prkb_edbms::{ComparisonOp, Predicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_2d(n: usize, seed: u64) -> (PrkbEngine<Predicate>, PlainOracle) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let columns: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..1000u64)).collect())
+            .collect();
+        let oracle = PlainOracle::from_columns(columns);
+        let mut engine = PrkbEngine::new(EngineConfig::default());
+        engine.init_attr(0, n);
+        engine.init_attr(1, n);
+        (engine, oracle)
+    }
+
+    #[test]
+    fn select_dispatches_comparison_and_between() {
+        let (mut engine, oracle) = engine_2d(500, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Predicate::cmp(0, ComparisonOp::Lt, 300);
+        assert_eq!(
+            engine.select(&oracle, &c, &mut rng).sorted(),
+            oracle.expected_select(&c)
+        );
+        let b = Predicate::between(1, 100, 400);
+        assert_eq!(
+            engine.select(&oracle, &b, &mut rng).sorted(),
+            oracle.expected_select(&b)
+        );
+    }
+
+    #[test]
+    fn md_and_sdplus_through_engine() {
+        let (mut engine, oracle) = engine_2d(800, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let dims = [
+            [
+                Predicate::cmp(0, ComparisonOp::Gt, 200),
+                Predicate::cmp(0, ComparisonOp::Lt, 600),
+            ],
+            [
+                Predicate::cmp(1, ComparisonOp::Gt, 300),
+                Predicate::cmp(1, ComparisonOp::Lt, 700),
+            ],
+        ];
+        let flat: Vec<Predicate> = dims.iter().flatten().cloned().collect();
+        let md = engine.select_range_md(&oracle, &dims, &mut rng);
+        assert_eq!(md.sorted(), oracle.expected_conjunction(&flat));
+        let sdp = engine.select_range_sdplus(&oracle, &dims, &mut rng);
+        assert_eq!(sdp.sorted(), oracle.expected_conjunction(&flat));
+        // Knowledge must be back in place for single-dim queries.
+        let c = Predicate::cmp(0, ComparisonOp::Lt, 500);
+        assert_eq!(
+            engine.select(&oracle, &c, &mut rng).sorted(),
+            oracle.expected_select(&c)
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_maintain_all_attrs() {
+        let (mut engine, mut oracle) = engine_2d(300, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Warm both attributes.
+        for bound in [100u64, 500, 900] {
+            for attr in 0..2u32 {
+                let p = Predicate::cmp(attr, ComparisonOp::Lt, bound);
+                engine.select(&oracle, &p, &mut rng);
+            }
+        }
+        let t = oracle.insert(&[450, 777]);
+        let outcomes = engine.insert(&oracle, t);
+        assert_eq!(outcomes.len(), 2);
+        let p = Predicate::cmp(0, ComparisonOp::Lt, 460);
+        assert_eq!(engine.select(&oracle, &p, &mut rng).sorted(), oracle.expected_select(&p));
+
+        oracle.delete(t);
+        engine.delete(t);
+        assert_eq!(engine.select(&oracle, &p, &mut rng).sorted(), oracle.expected_select(&p));
+    }
+
+    #[test]
+    fn storage_accounting_scales_with_k() {
+        let (mut engine, oracle) = engine_2d(1000, 7);
+        let base = engine.storage_bytes();
+        let mut rng = StdRng::seed_from_u64(8);
+        for bound in [100u64, 300, 500, 700, 900] {
+            engine.select(&oracle, &Predicate::cmp(0, ComparisonOp::Lt, bound), &mut rng);
+        }
+        assert!(engine.storage_bytes() > base);
+    }
+
+    #[test]
+    fn select_conjunction_mixes_shapes() {
+        let (mut engine, oracle) = engine_2d(600, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        // 2 range dims + a BETWEEN + a lone comparison on attr 0.
+        let preds = vec![
+            Predicate::cmp(0, ComparisonOp::Gt, 100),
+            Predicate::cmp(0, ComparisonOp::Lt, 800),
+            Predicate::cmp(1, ComparisonOp::Gt, 200),
+            Predicate::cmp(1, ComparisonOp::Lt, 900),
+            Predicate::between(0, 150, 700),
+            Predicate::cmp(1, ComparisonOp::Ge, 250),
+        ];
+        let sel = engine.select_conjunction(&oracle, &preds, &mut rng);
+        assert_eq!(sel.sorted(), oracle.expected_conjunction(&preds));
+        // Repeat: must stay correct with the now-warmed index.
+        let sel = engine.select_conjunction(&oracle, &preds, &mut rng);
+        assert_eq!(sel.sorted(), oracle.expected_conjunction(&preds));
+    }
+
+    #[test]
+    fn select_conjunction_empty_is_full_scan() {
+        let (mut engine, oracle) = engine_2d(50, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let sel = engine.select_conjunction(&oracle, &[], &mut rng);
+        assert_eq!(sel.tuples.len(), 50);
+        assert_eq!(sel.stats.qpf_uses, 0);
+    }
+
+    #[test]
+    fn select_conjunction_many_predicates_per_attr() {
+        // Regression (found by the `differ` harness): four comparisons on
+        // one attribute must not build two MD dims over the same knowledge.
+        let (mut engine, oracle) = engine_2d(300, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let preds = vec![
+            Predicate::cmp(1, ComparisonOp::Gt, 100),
+            Predicate::cmp(1, ComparisonOp::Lt, 900),
+            Predicate::cmp(1, ComparisonOp::Ge, 200),
+            Predicate::cmp(1, ComparisonOp::Le, 800),
+            Predicate::cmp(0, ComparisonOp::Gt, 50),
+            Predicate::cmp(0, ComparisonOp::Lt, 950),
+        ];
+        let sel = engine.select_conjunction(&oracle, &preds, &mut rng);
+        assert_eq!(sel.sorted(), oracle.expected_conjunction(&preds));
+    }
+
+    #[test]
+    fn select_conjunction_same_direction_pair() {
+        // Two same-direction comparisons on one attribute are still a valid
+        // conjunction (not a range) and must evaluate correctly.
+        let (mut engine, oracle) = engine_2d(400, 15);
+        let mut rng = StdRng::seed_from_u64(16);
+        let preds = vec![
+            Predicate::cmp(0, ComparisonOp::Lt, 700),
+            Predicate::cmp(0, ComparisonOp::Lt, 300),
+            Predicate::cmp(1, ComparisonOp::Gt, 100),
+            Predicate::cmp(1, ComparisonOp::Gt, 400),
+        ];
+        let sel = engine.select_conjunction(&oracle, &preds, &mut rng);
+        assert_eq!(sel.sorted(), oracle.expected_conjunction(&preds));
+    }
+
+    #[test]
+    #[should_panic(expected = "not initialized")]
+    fn uninitialized_attr_panics() {
+        let (mut engine, oracle) = engine_2d(100, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = Predicate::cmp(7, ComparisonOp::Lt, 5);
+        let _ = engine.select(&oracle, &p, &mut rng);
+    }
+}

@@ -1,0 +1,239 @@
+//! Insertion handling (paper §7.1).
+//!
+//! The service provider routes a freshly inserted encrypted tuple into the
+//! correct partition by binary-searching the retained separator trapdoors:
+//! O(lg k) QPF uses per indexed attribute. Boundaries whose separator came
+//! from a BETWEEN trapdoor may answer `Unknown` (output 0 does not
+//! lateralize); if the search window cannot be fully resolved the tuple is
+//! parked in the overflow set with its candidate interval (DESIGN.md §7).
+
+use crate::knowledge::{Knowledge, Side};
+use crate::traits::SpPredicate;
+use prkb_edbms::{SelectionOracle, TupleId};
+
+/// Where an inserted tuple ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Placed into the partition at this rank.
+    Placed {
+        /// Rank of the receiving partition.
+        rank: usize,
+    },
+    /// Parked in overflow with candidate rank interval `[lo, hi]`.
+    Parked {
+        /// Lowest candidate rank.
+        lo: usize,
+        /// Highest candidate rank.
+        hi: usize,
+    },
+}
+
+/// Routes tuple `t` into the knowledge base.
+///
+/// # Panics
+/// Panics if `t` is already placed (callers insert each tuple once).
+pub fn insert_tuple<O>(kb: &mut Knowledge<O::Pred>, oracle: &O, t: TupleId) -> InsertOutcome
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+{
+    let k = kb.k();
+    if k == 0 {
+        kb.pop_mut().ensure_slot(t);
+        kb.pop_mut().add_solo_partition(t);
+        return InsertOutcome::Placed { rank: 0 };
+    }
+    assert!(
+        kb.pop().locate(t).is_none(),
+        "tuple {t} inserted twice into the same knowledge base"
+    );
+
+    let mut lo = 0usize;
+    let mut hi = k - 1;
+    'narrow: while lo < hi {
+        // Probe boundaries near the midpoint first, widening outward, so a
+        // resolvable window still costs O(lg k) on pure comparison PRKBs.
+        let mid = (lo + hi) / 2;
+        let mut decided = false;
+        for i in probe_order(mid, lo, hi) {
+            let Some(sep) = kb.sep(i) else { continue };
+            let out = oracle.eval(sep.pred(), t);
+            match sep.side_of(out) {
+                Side::Left => {
+                    hi = i;
+                    decided = true;
+                    break;
+                }
+                Side::Right => {
+                    lo = i + 1;
+                    decided = true;
+                    break;
+                }
+                Side::Unknown => continue,
+            }
+        }
+        if !decided {
+            break 'narrow;
+        }
+    }
+
+    if lo == hi {
+        kb.place(t, lo);
+        InsertOutcome::Placed { rank: lo }
+    } else {
+        kb.park(t, lo, hi);
+        InsertOutcome::Parked { lo, hi }
+    }
+}
+
+/// Boundary indices `lo..=hi-1` ordered by distance from `mid`.
+fn probe_order(mid: usize, lo: usize, hi: usize) -> impl Iterator<Item = usize> {
+    let last = hi - 1; // boundaries run lo..=hi-1
+    let mid = mid.min(last);
+    let mut offset = 0usize;
+    let mut emit_low = true;
+    std::iter::from_fn(move || {
+        loop {
+            if emit_low {
+                emit_low = false;
+                if mid >= offset && mid - offset >= lo {
+                    return Some(mid - offset);
+                }
+            } else {
+                emit_low = true;
+                let c = mid + offset + 1;
+                offset += 1;
+                if c <= last {
+                    return Some(c);
+                }
+            }
+            // Both directions exhausted?
+            if (mid < offset || mid - offset < lo) && mid + offset + 1 > last {
+                return None;
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sd::process_comparison;
+    use prkb_edbms::testing::PlainOracle;
+    use prkb_edbms::{ComparisonOp, Predicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a PRKB over 0..n with cuts at the given bounds.
+    fn warmed(n: usize, cuts: &[u64]) -> (Knowledge<Predicate>, PlainOracle) {
+        let values: Vec<u64> = (0..n as u64).collect();
+        let oracle = PlainOracle::single_column(values);
+        let mut kb: Knowledge<Predicate> = Knowledge::init(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        for &c in cuts {
+            process_comparison(
+                &mut kb,
+                &oracle,
+                &Predicate::cmp(0, ComparisonOp::Lt, c),
+                &mut rng,
+                true,
+            );
+        }
+        oracle.reset_uses();
+        (kb, oracle)
+    }
+
+    #[test]
+    fn probe_order_visits_all_boundaries() {
+        let seen: Vec<usize> = probe_order(5, 2, 9).collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (2..9).collect::<Vec<_>>());
+        assert_eq!(seen[0], 5);
+    }
+
+    #[test]
+    fn probe_order_single_boundary() {
+        let seen: Vec<usize> = probe_order(0, 0, 1).collect();
+        assert_eq!(seen, vec![0]);
+    }
+
+    #[test]
+    fn insert_places_correctly_with_log_cost() {
+        let (mut kb, mut oracle) = warmed(1000, &[100, 300, 500, 700, 900, 200, 400, 600, 800]);
+        assert_eq!(kb.k(), 10);
+        // Insert values in every band and verify placement consistency.
+        for v in [50u64, 150, 250, 350, 450, 550, 650, 750, 850, 950] {
+            let t = oracle.insert(&[v]);
+            oracle.reset_uses();
+            let outcome = insert_tuple(&mut kb, &oracle, t);
+            let InsertOutcome::Placed { rank } = outcome else {
+                panic!("pure comparison PRKB must always place, got {outcome:?}");
+            };
+            // The receiving partition's value band must contain v.
+            let members = kb.pop().members_at(rank);
+            let lo = members.iter().map(|&x| oracle.value(0, x)).min().unwrap();
+            let hi = members.iter().map(|&x| oracle.value(0, x)).max().unwrap();
+            assert!(lo <= v && v <= hi, "v={v} placed in band [{lo},{hi}]");
+            assert!(
+                oracle.qpf_uses() <= 4,
+                "O(lg 10) expected, spent {}",
+                oracle.qpf_uses()
+            );
+            kb.check_invariants();
+        }
+    }
+
+    #[test]
+    fn insert_into_empty_knowledge() {
+        let mut oracle = PlainOracle::single_column(vec![]);
+        let mut kb: Knowledge<Predicate> = Knowledge::init(0);
+        let t = oracle.insert(&[42]);
+        assert_eq!(insert_tuple(&mut kb, &oracle, t), InsertOutcome::Placed { rank: 0 });
+        assert_eq!(kb.k(), 1);
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn insert_into_single_partition_costs_nothing() {
+        let (mut kb, mut oracle) = warmed(10, &[]);
+        let t = oracle.insert(&[5]);
+        oracle.reset_uses();
+        insert_tuple(&mut kb, &oracle, t);
+        assert_eq!(oracle.qpf_uses(), 0);
+        assert_eq!(kb.pop().rank_of_tuple(t), Some(0));
+    }
+
+    #[test]
+    fn inserted_tuples_answer_future_queries() {
+        let (mut kb, mut oracle) = warmed(500, &[100, 250, 400]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for v in [10u64, 120, 260, 410, 499] {
+            let t = oracle.insert(&[v]);
+            insert_tuple(&mut kb, &oracle, t);
+        }
+        for bound in [50u64, 150, 300, 450] {
+            let p = Predicate::cmp(0, ComparisonOp::Lt, bound);
+            let sel = process_comparison(&mut kb, &oracle, &p, &mut rng, true);
+            assert_eq!(sel.sorted(), oracle.expected_select(&p), "bound {bound}");
+            kb.check_invariants();
+        }
+    }
+
+    #[test]
+    fn bulk_insert_then_query_consistency() {
+        let (mut kb, mut oracle) = warmed(200, &[40, 80, 120, 160]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..100u64 {
+            let v = (i * 37) % 200;
+            let t = oracle.insert(&[v]);
+            insert_tuple(&mut kb, &oracle, t);
+        }
+        kb.check_invariants();
+        for bound in [30u64, 90, 150, 199] {
+            let p = Predicate::cmp(0, ComparisonOp::Lt, bound);
+            let sel = process_comparison(&mut kb, &oracle, &p, &mut rng, true);
+            assert_eq!(sel.sorted(), oracle.expected_select(&p), "bound {bound}");
+        }
+    }
+}

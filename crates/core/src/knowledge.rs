@@ -1,0 +1,507 @@
+//! The per-attribute past-result knowledge base.
+//!
+//! [`Knowledge`] bundles the POP (§4) with the two pieces of bookkeeping the
+//! paper's update/insert paths need:
+//!
+//! * **Separators** (§7.1): the retained inequivalent trapdoors, ordered so
+//!   that `seps[i]` is the cut between ranks `i` and `i + 1`. Each knows
+//!   which QPF label identifies its *left* side, which is what makes the
+//!   O(lg k) insertion binary search possible. Cuts created by BETWEEN
+//!   trapdoors are retained too but answer insertions only partially (a `0`
+//!   output does not say which side — see [`Separator::side_of`]).
+//! * **Overflow** (our documented extension, DESIGN.md §7): tuples whose
+//!   exact partition is ambiguous (possible only via BETWEEN-derived cuts)
+//!   are parked with a candidate rank interval, always scanned by queries,
+//!   and promoted into the POP as soon as some cut pins them down.
+
+use crate::pop::{Pop, RemoveOutcome};
+use crate::traits::SpPredicate;
+use prkb_edbms::TupleId;
+
+/// Which side of a BETWEEN range a cut delimits, in rank order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BetweenEdge {
+    /// The range's interior lies to the *right* of this cut (higher ranks).
+    InteriorRight,
+    /// The range's interior lies to the *left* of this cut (lower ranks).
+    InteriorLeft,
+}
+
+/// A retained cut between two adjacent ranks.
+#[derive(Debug, Clone)]
+pub enum Separator<P> {
+    /// A comparison trapdoor: output == `left_label` ⟺ the tuple belongs to
+    /// the left side (lower ranks).
+    Cmp {
+        /// The retained trapdoor.
+        pred: P,
+        /// QPF output identifying the left side.
+        left_label: bool,
+    },
+    /// A cut contributed by a BETWEEN trapdoor. Output `1` means "inside
+    /// the range", which pins the side relative to this edge; output `0`
+    /// means "outside" which this edge alone cannot lateralize.
+    Between {
+        /// The retained trapdoor.
+        pred: P,
+        /// Which side of this cut the range's interior lies on.
+        edge: BetweenEdge,
+    },
+}
+
+/// Answer of probing a separator with a new tuple's QPF output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The tuple's value lies left of the cut (lower ranks).
+    Left,
+    /// The tuple's value lies right of the cut (higher ranks).
+    Right,
+    /// This separator cannot lateralize the tuple (BETWEEN edge, output 0).
+    Unknown,
+}
+
+impl<P: SpPredicate> Separator<P> {
+    /// The retained trapdoor.
+    pub fn pred(&self) -> &P {
+        match self {
+            Separator::Cmp { pred, .. } | Separator::Between { pred, .. } => pred,
+        }
+    }
+
+    /// Interprets QPF output `out` for a new tuple probed at this separator.
+    pub fn side_of(&self, out: bool) -> Side {
+        match self {
+            Separator::Cmp { left_label, .. } => {
+                if out == *left_label {
+                    Side::Left
+                } else {
+                    Side::Right
+                }
+            }
+            Separator::Between { edge, .. } => match (edge, out) {
+                // Inside the range: the interior side is known.
+                (BetweenEdge::InteriorRight, true) => Side::Right,
+                (BetweenEdge::InteriorLeft, true) => Side::Left,
+                // Outside: could be either side of this edge's cut.
+                (_, false) => Side::Unknown,
+            },
+        }
+    }
+
+    /// Storage footprint of retaining this separator.
+    pub fn storage_bytes(&self) -> usize {
+        self.pred().storage_bytes() + 1
+    }
+}
+
+/// An unplaced tuple with its candidate rank interval (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowEntry {
+    /// The parked tuple.
+    pub tuple: TupleId,
+    /// Lowest candidate rank.
+    pub lo: usize,
+    /// Highest candidate rank.
+    pub hi: usize,
+}
+
+/// PRKB state for one attribute.
+#[derive(Debug, Clone)]
+pub struct Knowledge<P> {
+    pop: Pop,
+    seps: Vec<Option<Separator<P>>>,
+    overflow: Vec<OverflowEntry>,
+}
+
+impl<P: SpPredicate> Knowledge<P> {
+    /// `initPRKB(T)`: an empty knowledge base over `n` tuples.
+    pub fn init(n: usize) -> Self {
+        Knowledge {
+            pop: Pop::init(n),
+            seps: Vec::new(),
+            overflow: Vec::new(),
+        }
+    }
+
+    /// The partial order partitions.
+    pub fn pop(&self) -> &Pop {
+        &self.pop
+    }
+
+    /// Number of partitions `k`.
+    pub fn k(&self) -> usize {
+        self.pop.k()
+    }
+
+    /// The separator at boundary `i` (between ranks `i` and `i + 1`), if
+    /// one is retained there.
+    pub fn sep(&self, i: usize) -> Option<&Separator<P>> {
+        self.seps.get(i).and_then(Option::as_ref)
+    }
+
+    /// Number of boundary slots (`k - 1`, or 0 when `k <= 1`).
+    pub fn n_boundaries(&self) -> usize {
+        self.seps.len()
+    }
+
+    /// Currently parked overflow tuples.
+    pub fn overflow(&self) -> &[OverflowEntry] {
+        &self.overflow
+    }
+
+    /// Applies a split of the partition at `rank` into `(left, right)`
+    /// member sets, retaining `sep` as the new cut between them.
+    ///
+    /// Maintains separator alignment and overflow intervals. Callers are
+    /// responsible for having ordered `left`/`right` per the update rule
+    /// (§5.3 / DESIGN.md §7).
+    pub fn apply_split(
+        &mut self,
+        rank: usize,
+        left: Vec<TupleId>,
+        right: Vec<TupleId>,
+        sep: Option<Separator<P>>,
+    ) {
+        self.pop.split_at(rank, left, right);
+        self.seps.insert(rank, sep);
+        debug_assert_eq!(self.seps.len() + 1, self.pop.k());
+        for e in &mut self.overflow {
+            // Old rank r > rank maps to r+1; old `rank` maps to {rank, rank+1}.
+            if e.lo > rank {
+                e.lo += 1;
+            }
+            if e.hi >= rank {
+                e.hi += 1;
+            }
+        }
+    }
+
+    /// Deletes tuple `t` (§7.2). If its partition empties, the partition is
+    /// dropped along with one adjacent separator; overflow intervals are
+    /// remapped conservatively.
+    pub fn delete(&mut self, t: TupleId) {
+        // Parked tuples can be deleted too.
+        if let Some(pos) = self.overflow.iter().position(|e| e.tuple == t) {
+            self.overflow.swap_remove(pos);
+            return;
+        }
+        match self.pop.remove(t) {
+            RemoveOutcome::NotPlaced | RemoveOutcome::Removed => {}
+            RemoveOutcome::Emptied { rank } => {
+                // k already decremented inside pop. Drop one adjacent
+                // separator to restore alignment: the right one, so the
+                // emptied value range merges into the right neighbour
+                // (into the left neighbour when the last partition died).
+                let merged_into = if rank < self.seps.len() {
+                    self.seps.remove(rank);
+                    rank
+                } else if !self.seps.is_empty() {
+                    self.seps.remove(rank - 1);
+                    rank.saturating_sub(1)
+                } else {
+                    0
+                };
+                let k = self.pop.k();
+                for e in &mut self.overflow {
+                    if e.lo > rank {
+                        e.lo -= 1;
+                    } else if e.lo == rank {
+                        e.lo = merged_into.min(k.saturating_sub(1));
+                    }
+                    if e.hi > rank {
+                        e.hi -= 1;
+                    } else if e.hi == rank {
+                        e.hi = merged_into.min(k.saturating_sub(1));
+                    }
+                    if e.hi < e.lo {
+                        e.hi = e.lo;
+                    }
+                }
+                debug_assert!(self.pop.k() == 0 || self.seps.len() + 1 == self.pop.k());
+            }
+        }
+    }
+
+    /// Parks a tuple whose candidate rank interval is `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if the interval is malformed or the tuple is already placed.
+    pub fn park(&mut self, t: TupleId, lo: usize, hi: usize) {
+        assert!(lo <= hi && hi < self.pop.k(), "malformed interval");
+        assert!(self.pop.locate(t).is_none(), "tuple {t} already placed");
+        self.pop.ensure_slot(t);
+        self.overflow.push(OverflowEntry { tuple: t, lo, hi });
+    }
+
+    /// Places a tuple directly into the partition at `rank`.
+    pub fn place(&mut self, t: TupleId, rank: usize) {
+        self.pop.place(t, rank);
+    }
+
+    /// Narrows overflow intervals using a cut: boundary `cut` (between ranks
+    /// `cut` and `cut + 1`) with `outputs(t)` giving Θ(p, t) for each parked
+    /// tuple and `left_label` identifying the left side. Tuples whose
+    /// interval collapses are promoted into the POP.
+    ///
+    /// Contract: `cut` must be the boundary of a **retained separator**
+    /// whose value threshold is the predicate just evaluated (i.e. a fresh
+    /// split). Cuts from *equivalent* trapdoors must not be fed here: their
+    /// thresholds can differ from the boundary's retained separator inside
+    /// a deletion gap, and a parked tuple dwelling in that gap would receive
+    /// contradictory index-space claims (violating `lo ≤ hi`).
+    pub fn refine_overflow(
+        &mut self,
+        cut: usize,
+        left_label: bool,
+        outputs: impl Fn(TupleId) -> Option<bool>,
+    ) {
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let e = &mut self.overflow[i];
+            if let Some(out) = outputs(e.tuple) {
+                if out == left_label {
+                    e.hi = e.hi.min(cut);
+                } else {
+                    e.lo = e.lo.max(cut + 1);
+                }
+                debug_assert!(
+                    e.lo <= e.hi,
+                    "overflow interval emptied: tuple {} interval now [{}, {}], cut {cut}, left_label {left_label}, out {out}, k {}",
+                    e.tuple,
+                    e.lo,
+                    e.hi,
+                    self.pop.k()
+                );
+                if e.lo == e.hi {
+                    let entry = self.overflow.swap_remove(i);
+                    self.pop.place(entry.tuple, entry.lo);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Storage footprint in bytes: the POP's canonical form, retained
+    /// separators, and overflow entries.
+    pub fn storage_bytes(&self) -> usize {
+        self.pop.storage_bytes()
+            + self
+                .seps
+                .iter()
+                .map(|s| 1 + s.as_ref().map_or(0, Separator::storage_bytes))
+                .sum::<usize>()
+            + self.overflow.len() * (4 + 8 + 8)
+    }
+
+    /// Structural invariant check (tests): POP invariants plus separator
+    /// alignment and overflow interval sanity.
+    ///
+    /// # Panics
+    /// Panics on any violation.
+    pub fn check_invariants(&self) {
+        self.pop.check_invariants();
+        if self.pop.k() == 0 {
+            assert!(self.seps.is_empty());
+        } else {
+            assert_eq!(self.seps.len(), self.pop.k() - 1, "separator alignment");
+        }
+        for e in &self.overflow {
+            assert!(e.lo <= e.hi && e.hi < self.pop.k(), "overflow interval");
+            assert!(self.pop.locate(e.tuple).is_none(), "parked tuple placed");
+        }
+    }
+
+    /// Mutable access for the processing modules within this crate.
+    pub(crate) fn pop_mut(&mut self) -> &mut Pop {
+        &mut self.pop
+    }
+
+    /// Raw parts for snapshotting.
+    pub(crate) fn parts(&self) -> (&Pop, &[Option<Separator<P>>], &[OverflowEntry]) {
+        (&self.pop, &self.seps, &self.overflow)
+    }
+
+    /// Reassembles a knowledge base from snapshot parts.
+    pub(crate) fn from_raw(
+        pop: Pop,
+        seps: Vec<Option<Separator<P>>>,
+        overflow: Vec<OverflowEntry>,
+    ) -> Self {
+        Knowledge {
+            pop,
+            seps,
+            overflow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prkb_edbms::{ComparisonOp, Predicate};
+
+    fn sep(bound: u64, left_label: bool) -> Separator<Predicate> {
+        Separator::Cmp {
+            pred: Predicate::cmp(0, ComparisonOp::Lt, bound),
+            left_label,
+        }
+    }
+
+    #[test]
+    fn init_and_split() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(4);
+        assert_eq!(kb.k(), 1);
+        kb.apply_split(0, vec![0, 1], vec![2, 3], Some(sep(5, true)));
+        assert_eq!(kb.k(), 2);
+        assert_eq!(kb.n_boundaries(), 1);
+        assert!(kb.sep(0).is_some());
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn split_without_separator_keeps_alignment() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(4);
+        kb.apply_split(0, vec![0, 1], vec![2, 3], None);
+        assert!(kb.sep(0).is_none());
+        assert_eq!(kb.n_boundaries(), 1);
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn delete_empties_partition_and_drops_right_separator() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(3);
+        kb.apply_split(0, vec![0], vec![1, 2], Some(sep(5, true)));
+        kb.apply_split(1, vec![1], vec![2], Some(sep(9, false)));
+        assert_eq!(kb.k(), 3);
+        // Empty the middle partition: its right separator (index 1) dies.
+        kb.delete(1);
+        assert_eq!(kb.k(), 2);
+        assert_eq!(kb.n_boundaries(), 1);
+        assert!(matches!(
+            kb.sep(0),
+            Some(Separator::Cmp { left_label: true, .. })
+        ));
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn delete_first_partition_drops_its_right_separator() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(3);
+        kb.apply_split(0, vec![0], vec![1, 2], Some(sep(5, true)));
+        kb.apply_split(1, vec![1], vec![2], Some(sep(9, false)));
+        kb.delete(0); // rank 0 empties → seps[0] (bound 5) is dropped
+        assert_eq!(kb.k(), 2);
+        assert!(matches!(
+            kb.sep(0),
+            Some(Separator::Cmp { left_label: false, .. })
+        ));
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn deleting_parked_tuple_removes_overflow_entry() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(4);
+        kb.apply_split(0, vec![0, 1], vec![2, 3], Some(sep(5, true)));
+        kb.park(9, 0, 1);
+        kb.delete(9);
+        assert!(kb.overflow().is_empty());
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn overflow_remap_on_partition_removal() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(3);
+        kb.apply_split(0, vec![0], vec![1, 2], Some(sep(5, true)));
+        kb.apply_split(1, vec![1], vec![2], Some(sep(9, true)));
+        kb.park(7, 1, 2);
+        // Empty the middle partition (rank 1): interval endpoints at the
+        // removed rank remap to the merged-into rank.
+        kb.delete(1);
+        assert_eq!(kb.k(), 2);
+        let e = kb.overflow()[0];
+        assert_eq!(e.tuple, 7);
+        assert!(e.lo <= e.hi && e.hi < kb.k(), "remapped interval {e:?}");
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn delete_last_partition_drops_left_separator() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(2);
+        kb.apply_split(0, vec![0], vec![1], Some(sep(5, true)));
+        kb.delete(1);
+        assert_eq!(kb.k(), 1);
+        assert_eq!(kb.n_boundaries(), 0);
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(2);
+        kb.delete(0);
+        kb.delete(1);
+        assert_eq!(kb.k(), 0);
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn overflow_interval_tracks_splits() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(4);
+        kb.apply_split(0, vec![0, 1], vec![2, 3], Some(sep(5, true)));
+        kb.park(9, 0, 1);
+        // Split rank 0: interval's hi at rank 1 shifts to 2; lo at 0 stays.
+        kb.apply_split(0, vec![0], vec![1], Some(sep(3, true)));
+        assert_eq!(kb.overflow()[0], OverflowEntry { tuple: 9, lo: 0, hi: 2 });
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn refine_overflow_places_tuple() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(4);
+        kb.apply_split(0, vec![0, 1], vec![2, 3], Some(sep(5, true)));
+        kb.park(9, 0, 1);
+        // Cut at boundary 0, left label true; tuple answered false → right.
+        kb.refine_overflow(0, true, |t| (t == 9).then_some(false));
+        assert!(kb.overflow().is_empty());
+        assert_eq!(kb.pop().rank_of_tuple(9), Some(1));
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn refine_overflow_narrows_without_placing() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(6);
+        kb.apply_split(0, vec![0, 1], vec![2, 3, 4, 5], Some(sep(5, true)));
+        kb.apply_split(1, vec![2, 3], vec![4, 5], Some(sep(9, true)));
+        kb.park(9, 0, 2);
+        kb.refine_overflow(0, true, |t| (t == 9).then_some(false));
+        assert_eq!(kb.overflow()[0], OverflowEntry { tuple: 9, lo: 1, hi: 2 });
+        kb.check_invariants();
+    }
+
+    #[test]
+    fn side_interpretation() {
+        let s = sep(5, true);
+        assert_eq!(s.side_of(true), Side::Left);
+        assert_eq!(s.side_of(false), Side::Right);
+        let b: Separator<Predicate> = Separator::Between {
+            pred: Predicate::between(0, 2, 8),
+            edge: BetweenEdge::InteriorRight,
+        };
+        assert_eq!(b.side_of(true), Side::Right);
+        assert_eq!(b.side_of(false), Side::Unknown);
+        let b2: Separator<Predicate> = Separator::Between {
+            pred: Predicate::between(0, 2, 8),
+            edge: BetweenEdge::InteriorLeft,
+        };
+        assert_eq!(b2.side_of(true), Side::Left);
+        assert_eq!(b2.side_of(false), Side::Unknown);
+    }
+
+    #[test]
+    fn storage_grows_with_separators() {
+        let mut kb: Knowledge<Predicate> = Knowledge::init(100);
+        let base = kb.storage_bytes();
+        kb.apply_split(0, (0..50).collect(), (50..100).collect(), Some(sep(5, true)));
+        assert!(kb.storage_bytes() > base);
+    }
+}

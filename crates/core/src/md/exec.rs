@@ -1,0 +1,322 @@
+//! The PRKB(MD) executor (paper §6.2).
+
+use super::zones::{rank_classes, RankClass};
+use super::{MdDim, MdUpdatePolicy};
+use crate::knowledge::Separator;
+use crate::qfilter::{qfilter, FilterResult};
+use crate::selection::{QueryStats, Selection};
+use crate::traits::SpPredicate;
+use crate::update::order_halves;
+use prkb_edbms::{SelectionOracle, TupleId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Early-stop inference state for one trapdoor's NS pair.
+struct NsState {
+    a: usize,
+    b: usize,
+    label_a: bool,
+    label_b: bool,
+    a_true: usize,
+    a_false: usize,
+    b_true: usize,
+    b_false: usize,
+    /// Rank that proved non-homogeneous (the separating partition).
+    resolved: Option<usize>,
+}
+
+impl NsState {
+    fn from_filter(f: &FilterResult) -> Option<Self> {
+        let (a, b) = f.ns?;
+        Some(NsState {
+            a,
+            b,
+            label_a: f.label_a,
+            label_b: f.label_b,
+            a_true: 0,
+            a_false: 0,
+            b_true: 0,
+            b_false: 0,
+            resolved: None,
+        })
+    }
+
+    /// Implied outcome for a tuple at `rank`, when the pair partner already
+    /// proved non-homogeneous (paper's early-stop inference).
+    fn inferred(&self, rank: usize) -> Option<bool> {
+        let s = self.resolved?;
+        if rank == s {
+            return None; // the separating partition itself must be tested
+        }
+        if rank == self.a {
+            Some(self.label_a)
+        } else if rank == self.b {
+            Some(self.label_b)
+        } else {
+            None
+        }
+    }
+
+    fn record(&mut self, rank: usize, out: bool) {
+        if rank == self.a {
+            if out {
+                self.a_true += 1;
+            } else {
+                self.a_false += 1;
+            }
+            if self.a_true > 0 && self.a_false > 0 {
+                self.resolved = Some(self.a);
+            }
+        }
+        // A single-partition POP has a == b: count both sides once.
+        if rank == self.b && self.a != self.b {
+            if out {
+                self.b_true += 1;
+            } else {
+                self.b_false += 1;
+            }
+            if self.b_true > 0 && self.b_false > 0 {
+                self.resolved = Some(self.b);
+            }
+        }
+    }
+}
+
+pub(crate) fn run<O, R>(
+    dims: &mut [MdDim<O::Pred>],
+    oracle: &O,
+    rng: &mut R,
+    policy: MdUpdatePolicy,
+) -> Selection
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+    R: Rng,
+{
+    let qpf_before = oracle.qpf_uses();
+    let k_before: usize = dims.iter().map(|d| d.knowledge.k()).sum();
+    let d = dims.len();
+
+    // Phase 1: QFilter every trapdoor, classify every partition (per rank —
+    // O(k), never O(n)).
+    let mut filters: Vec<[FilterResult; 2]> = Vec::with_capacity(d);
+    for dim in dims.iter() {
+        let f0 = qfilter(dim.knowledge.pop(), oracle, &dim.preds[0], rng);
+        let f1 = qfilter(dim.knowledge.pop(), oracle, &dim.preds[1], rng);
+        filters.push([f0, f1]);
+    }
+    let classes: Vec<Vec<RankClass>> = dims
+        .iter()
+        .zip(&filters)
+        .map(|(dim, f)| rank_classes(dim.knowledge.pop().k(), f))
+        .collect();
+
+    let mut ns_states: Vec<[Option<NsState>; 2]> = filters
+        .iter()
+        .map(|f| [NsState::from_filter(&f[0]), NsState::from_filter(&f[1])])
+        .collect();
+    // Tested outcomes per (dim, predicate), for the update phase.
+    let mut outcomes: Vec<[Vec<(TupleId, bool)>; 2]> =
+        (0..d).map(|_| [Vec::new(), Vec::new()]).collect();
+
+    // Phase 2: walk the candidate region — only the *driver* dimension's
+    // non-F partitions (its T ∪ NS band) plus its unplaced (overflow)
+    // tuples. Every winner must lie in that band, so nothing is missed, and
+    // per-query work is proportional to the band, not the table (the
+    // paper's Fig. 6b grid pruning).
+    let driver = (0..d)
+        .min_by_key(|&di| {
+            let pop = dims[di].knowledge.pop();
+            let band: usize = (0..pop.k())
+                .filter(|&r| !classes[di][r].known_false())
+                .map(|r| pop.members_at(r).len())
+                .sum();
+            band + dims[di].knowledge.overflow().len()
+        })
+        .unwrap_or(0);
+
+    let mut candidates: Vec<TupleId> = Vec::new();
+    {
+        let pop = dims[driver].knowledge.pop();
+        for r in 0..pop.k() {
+            if !classes[driver][r].known_false() {
+                candidates.extend_from_slice(pop.members_at(r));
+            }
+        }
+        candidates.extend(dims[driver].knowledge.overflow().iter().map(|e| e.tuple));
+    }
+
+    let mut winners: Vec<TupleId> = Vec::new();
+    'tuples: for t in candidates {
+        if !oracle.is_live(t) {
+            continue;
+        }
+        // Free pass first: a tuple provably out in *any* dimension is
+        // discarded before a single QPF is spent on it (Fig. 6b pruning).
+        for (di, dim) in dims.iter().enumerate() {
+            if let Some(r) = dim.knowledge.pop().rank_of_tuple(t) {
+                if classes[di][r].known_false() {
+                    continue 'tuples;
+                }
+            }
+        }
+        for (di, dim) in dims.iter().enumerate() {
+            let rank = dim.knowledge.pop().rank_of_tuple(t);
+            let class = rank.map(|r| classes[di][r]);
+            if let Some(c) = class {
+                debug_assert!(!c.known_false(), "filtered by the free pass");
+                if c.known_true() {
+                    continue;
+                }
+            }
+            for j in 0..2 {
+                if let Some(true) = class.and_then(|c| c.pred(j)) {
+                    continue;
+                }
+                let out = match (&ns_states[di][j], rank) {
+                    (Some(st), Some(r)) => {
+                        if let Some(v) = st.inferred(r) {
+                            v
+                        } else {
+                            let v = oracle.eval(&dim.preds[j], t);
+                            outcomes[di][j].push((t, v));
+                            ns_states[di][j]
+                                .as_mut()
+                                .expect("state present")
+                                .record(r, v);
+                            v
+                        }
+                    }
+                    // Overflow tuple (or empty POP): test directly; the
+                    // outcome cannot feed a partition split.
+                    _ => oracle.eval(&dim.preds[j], t),
+                };
+                if !out {
+                    continue 'tuples;
+                }
+            }
+        }
+        winners.push(t);
+    }
+
+    // Phase 3: refine each dimension's POP from fully-decided partitions.
+    let mut splits = 0usize;
+    if policy != MdUpdatePolicy::Frozen {
+        for di in 0..d {
+            splits += apply_dim_updates(
+                &mut dims[di],
+                oracle,
+                &filters[di],
+                &ns_states[di],
+                &outcomes[di],
+                policy,
+            );
+        }
+    }
+
+    Selection {
+        tuples: winners,
+        stats: QueryStats {
+            qpf_uses: oracle.qpf_uses() - qpf_before,
+            k_before,
+            k_after: dims.iter().map(|d| d.knowledge.k()).sum(),
+            splits,
+        },
+    }
+}
+
+/// Applies the sound refinements for one dimension. Returns split count.
+fn apply_dim_updates<O>(
+    dim: &mut MdDim<O::Pred>,
+    oracle: &O,
+    filters: &[FilterResult; 2],
+    ns_states: &[Option<NsState>; 2],
+    outcomes: &[Vec<(TupleId, bool)>; 2],
+    policy: MdUpdatePolicy,
+) -> usize
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+{
+    // Gather candidate splits as (rank, left, right, left_label, pred_idx).
+    type PendingSplit = (usize, Vec<TupleId>, Vec<TupleId>, bool, usize);
+    let mut pending: Vec<PendingSplit> = Vec::new();
+
+    for j in 0..2 {
+        let Some(st) = &ns_states[j] else { continue };
+        let filter = &filters[j];
+        let ranks: Vec<usize> = if st.a == st.b {
+            vec![st.a]
+        } else {
+            vec![st.a, st.b]
+        };
+        for &r in &ranks {
+            let members = dim.knowledge.pop().members_at(r);
+            let mut map: HashMap<TupleId, bool> = HashMap::new();
+            for &(t, v) in &outcomes[j] {
+                if dim.knowledge.pop().rank_of_tuple(t) == Some(r) {
+                    map.insert(t, v);
+                }
+            }
+            let t_cnt = map.values().filter(|v| **v).count();
+            let f_cnt = map.len() - t_cnt;
+            if t_cnt == 0 || f_cnt == 0 {
+                continue; // homogeneous so far: nothing to refine
+            }
+            if map.len() < members.len() {
+                if policy != MdUpdatePolicy::CompleteSplits {
+                    continue; // partial knowledge: a split would be unsound
+                }
+                // Ablation mode: pay the missing QPF to finish the split.
+                for &t in members {
+                    map.entry(t)
+                        .or_insert_with(|| oracle.eval(&dim.preds[j], t));
+                }
+            }
+            let (mut true_half, mut false_half) = (Vec::new(), Vec::new());
+            for &t in dim.knowledge.pop().members_at(r) {
+                if map[&t] {
+                    true_half.push(t);
+                } else {
+                    false_half.push(t);
+                }
+            }
+            // Neighbour labels for the ordering rule. This rank is mixed, so
+            // it *is* the separating partition — the pair partner is
+            // homogeneous with its sampled label (Lemma 4.5).
+            let other = if r == st.a { st.b } else { st.a };
+            let other_label = Some(if other == st.a { st.label_a } else { st.label_b });
+            let label_of = |q: usize| {
+                if q == other {
+                    other_label
+                } else {
+                    filter.known_label(q)
+                }
+            };
+            let (left, right, left_label) = order_halves(
+                dim.knowledge.k(),
+                r,
+                true_half,
+                false_half,
+                label_of,
+            );
+            pending.push((r, left, right, left_label, j));
+        }
+    }
+
+    // Apply descending by rank so earlier splits do not shift later ones;
+    // if both trapdoors split the same partition, keep the first only
+    // (re-deriving the second against the new sub-partitions is future
+    // work the paper does not require).
+    pending.sort_by_key(|e| std::cmp::Reverse(e.0));
+    pending.dedup_by_key(|e| e.0);
+    let n = pending.len();
+    for (rank, left, right, left_label, j) in pending {
+        let sep = Separator::Cmp {
+            pred: dim.preds[j].clone(),
+            left_label,
+        };
+        dim.knowledge.apply_split(rank, left, right, Some(sep));
+    }
+    n
+}

@@ -1,0 +1,465 @@
+//! Partial order partitions (POP) — Definition 4.2 of the paper.
+//!
+//! A `Pop` is an ordered sequence of disjoint, non-empty partitions of tuple
+//! ids with the invariant `P₁ ↦ P₂ ↦ … ↦ P_k`: all plain values in `Pᵢ` lie
+//! strictly on one side of all plain values in `Pⱼ` (i ≠ j), with the global
+//! direction (ascending vs descending) unknown to the service provider.
+//!
+//! Partitions carry **stable ids** ([`PartId`]) so that splits (which shift
+//! ranks) do not invalidate references held elsewhere (separators, overflow
+//! intervals). Rank ↔ id translation is O(1) both ways.
+
+use prkb_edbms::TupleId;
+use rand::Rng;
+
+/// Stable identifier of a partition (survives rank shifts; never reused).
+pub type PartId = u32;
+
+/// Sentinel: tuple is not placed in any partition.
+const NO_PART: PartId = PartId::MAX;
+/// Sentinel rank for dead partitions.
+const DEAD_RANK: u32 = u32::MAX;
+
+/// The partial-order-partitions structure.
+#[derive(Debug, Clone)]
+pub struct Pop {
+    /// rank → partition id.
+    order: Vec<PartId>,
+    /// partition id → current rank (DEAD_RANK when the partition is gone).
+    rank: Vec<u32>,
+    /// partition id → member tuple ids (unordered within the partition).
+    members: Vec<Vec<TupleId>>,
+    /// tuple slot → partition id (NO_PART when unplaced/deleted).
+    locate: Vec<PartId>,
+    /// Number of placed tuples.
+    placed: usize,
+}
+
+impl Pop {
+    /// `initPRKB`: all `n` tuples in one big partition (POP₁). With `n == 0`
+    /// the structure starts with zero partitions.
+    pub fn init(n: usize) -> Self {
+        if n == 0 {
+            return Pop {
+                order: Vec::new(),
+                rank: Vec::new(),
+                members: Vec::new(),
+                locate: Vec::new(),
+                placed: 0,
+            };
+        }
+        Pop {
+            order: vec![0],
+            rank: vec![0],
+            members: vec![(0..n as TupleId).collect()],
+            locate: vec![0; n],
+            placed: n,
+        }
+    }
+
+    /// Number of partitions `k`.
+    pub fn k(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of placed tuples.
+    pub fn placed(&self) -> usize {
+        self.placed
+    }
+
+    /// Partition id at `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= k()`.
+    pub fn part_at(&self, rank: usize) -> PartId {
+        self.order[rank]
+    }
+
+    /// Current rank of partition `id`, or `None` if it no longer exists.
+    pub fn rank_of(&self, id: PartId) -> Option<usize> {
+        match self.rank.get(id as usize) {
+            Some(&r) if r != DEAD_RANK => Some(r as usize),
+            _ => None,
+        }
+    }
+
+    /// Members of the partition at `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= k()`.
+    pub fn members_at(&self, rank: usize) -> &[TupleId] {
+        &self.members[self.order[rank] as usize]
+    }
+
+    /// Uniformly random member of the partition at `rank`
+    /// (`Pᵢ.sample` in the paper).
+    ///
+    /// # Panics
+    /// Panics if `rank >= k()`.
+    pub fn sample_at<R: Rng>(&self, rank: usize, rng: &mut R) -> TupleId {
+        let m = self.members_at(rank);
+        m[rng.gen_range(0..m.len())]
+    }
+
+    /// Partition id containing tuple `t`, or `None` if unplaced.
+    pub fn locate(&self, t: TupleId) -> Option<PartId> {
+        match self.locate.get(t as usize) {
+            Some(&p) if p != NO_PART => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Rank of the partition containing tuple `t`, or `None` if unplaced.
+    pub fn rank_of_tuple(&self, t: TupleId) -> Option<usize> {
+        self.locate(t).and_then(|p| self.rank_of(p))
+    }
+
+    /// Ensures the locate array covers tuple id `t` (grows with the table).
+    pub fn ensure_slot(&mut self, t: TupleId) {
+        if t as usize >= self.locate.len() {
+            self.locate.resize(t as usize + 1, NO_PART);
+        }
+    }
+
+    /// Splits the partition at `rank` into two adjacent partitions.
+    ///
+    /// `first` and `second` become the members at `rank` and `rank + 1`
+    /// respectively (caller decides the order per the update rule). Together
+    /// they must be exactly the current members, and both must be non-empty.
+    ///
+    /// Returns `(id_first, id_second)`: the partition at `rank` keeps the old
+    /// id (so the left endpoint of any range that included it stays valid);
+    /// the right half gets a fresh id.
+    ///
+    /// # Panics
+    /// Panics if the halves are empty or do not repartition the members.
+    pub fn split_at(
+        &mut self,
+        rank: usize,
+        first: Vec<TupleId>,
+        second: Vec<TupleId>,
+    ) -> (PartId, PartId) {
+        assert!(!first.is_empty() && !second.is_empty(), "split halves must be non-empty");
+        let id = self.order[rank];
+        debug_assert_eq!(
+            first.len() + second.len(),
+            self.members[id as usize].len(),
+            "split must repartition the members"
+        );
+        let new_id = self.members.len() as PartId;
+        // Left half keeps the old id.
+        self.members[id as usize] = first;
+        self.members.push(second);
+        self.rank.push((rank + 1) as u32);
+        self.order.insert(rank + 1, new_id);
+        // Ranks after the insertion point shift right.
+        for r in (rank + 2)..self.order.len() {
+            self.rank[self.order[r] as usize] = r as u32;
+        }
+        // Relabel moved tuples.
+        for &t in &self.members[new_id as usize] {
+            self.locate[t as usize] = new_id;
+        }
+        (id, new_id)
+    }
+
+    /// Places an unplaced tuple into the partition at `rank`.
+    ///
+    /// # Panics
+    /// Panics if `t` is already placed.
+    pub fn place(&mut self, t: TupleId, rank: usize) {
+        self.ensure_slot(t);
+        assert_eq!(self.locate[t as usize], NO_PART, "tuple {t} already placed");
+        let id = self.order[rank];
+        self.members[id as usize].push(t);
+        self.locate[t as usize] = id;
+        self.placed += 1;
+    }
+
+    /// Rebuilds a POP from per-tuple ranks (snapshot restore).
+    ///
+    /// `ranks[t]` is the partition rank of tuple `t`, or `u32::MAX` for an
+    /// unplaced slot. Every rank in `0..k` must be non-empty.
+    ///
+    /// # Errors
+    /// Returns a description of the first structural violation found.
+    pub fn from_ranks(ranks: &[u32], k: usize) -> Result<Self, &'static str> {
+        let mut members: Vec<Vec<TupleId>> = vec![Vec::new(); k];
+        let mut locate = vec![NO_PART; ranks.len()];
+        let mut placed = 0usize;
+        for (t, &r) in ranks.iter().enumerate() {
+            if r == u32::MAX {
+                continue;
+            }
+            let Some(m) = members.get_mut(r as usize) else {
+                return Err("rank out of range");
+            };
+            m.push(t as TupleId);
+            locate[t] = r;
+            placed += 1;
+        }
+        if members.iter().any(Vec::is_empty) {
+            return Err("empty partition in snapshot");
+        }
+        Ok(Pop {
+            order: (0..k as PartId).collect(),
+            rank: (0..k as u32).collect(),
+            members,
+            locate,
+            placed,
+        })
+    }
+
+    /// Per-tuple ranks in snapshot form (`u32::MAX` = unplaced).
+    pub fn to_ranks(&self) -> Vec<u32> {
+        self.locate
+            .iter()
+            .map(|&p| {
+                if p == NO_PART {
+                    u32::MAX
+                } else {
+                    self.rank[p as usize]
+                }
+            })
+            .collect()
+    }
+
+    /// Seeds an empty POP with its first partition, holding just `t`
+    /// (insertion into a table that started empty).
+    ///
+    /// # Panics
+    /// Panics if the POP already has partitions — with existing partitions a
+    /// new tuple must be routed by separators, never appended blindly.
+    pub fn add_solo_partition(&mut self, t: TupleId) {
+        assert_eq!(self.k(), 0, "solo partition only seeds an empty POP");
+        self.ensure_slot(t);
+        let id = self.members.len() as PartId;
+        self.order.push(id);
+        self.rank.push(0);
+        self.members.push(vec![t]);
+        self.locate[t as usize] = id;
+        self.placed += 1;
+    }
+
+    /// Removes tuple `t`. If its partition becomes empty the partition is
+    /// dropped and the former rank is returned in `RemoveOutcome::Emptied`.
+    pub fn remove(&mut self, t: TupleId) -> RemoveOutcome {
+        let Some(id) = self.locate(t) else {
+            return RemoveOutcome::NotPlaced;
+        };
+        let members = &mut self.members[id as usize];
+        let pos = members
+            .iter()
+            .position(|&x| x == t)
+            .expect("locate and members agree");
+        members.swap_remove(pos);
+        self.locate[t as usize] = NO_PART;
+        self.placed -= 1;
+        if members.is_empty() {
+            let r = self.rank[id as usize] as usize;
+            self.order.remove(r);
+            self.rank[id as usize] = DEAD_RANK;
+            for rr in r..self.order.len() {
+                self.rank[self.order[rr] as usize] = rr as u32;
+            }
+            RemoveOutcome::Emptied { rank: r }
+        } else {
+            RemoveOutcome::Removed
+        }
+    }
+
+    /// Serialized storage footprint in bytes: the canonical representation
+    /// is one partition id per tuple slot (4 bytes) plus the order list
+    /// (4 bytes per partition) — the member lists are derivable and not
+    /// counted, matching the paper's "partition information" accounting.
+    pub fn storage_bytes(&self) -> usize {
+        self.locate.len() * 4 + self.order.len() * 4
+    }
+
+    /// Validates all structural invariants (test/debug aid): partitions
+    /// non-empty, disjoint, rank table consistent, locate consistent.
+    ///
+    /// # Panics
+    /// Panics (with a description) on any violation.
+    pub fn check_invariants(&self) {
+        let mut seen = std::collections::HashSet::new();
+        for (r, &id) in self.order.iter().enumerate() {
+            assert_eq!(self.rank[id as usize] as usize, r, "rank table broken");
+            let m = &self.members[id as usize];
+            assert!(!m.is_empty(), "empty partition at rank {r}");
+            for &t in m {
+                assert!(seen.insert(t), "tuple {t} in two partitions");
+                assert_eq!(self.locate[t as usize], id, "locate broken for {t}");
+            }
+        }
+        assert_eq!(seen.len(), self.placed, "placed count broken");
+        for (t, &p) in self.locate.iter().enumerate() {
+            if p != NO_PART {
+                assert!(seen.contains(&(t as TupleId)), "ghost placement {t}");
+            }
+        }
+    }
+}
+
+/// Result of [`Pop::remove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveOutcome {
+    /// The tuple was not placed anywhere (overflow or already deleted).
+    NotPlaced,
+    /// Removed; the partition still has members.
+    Removed,
+    /// Removed and the partition at the given (former) rank became empty
+    /// and was dropped.
+    Emptied {
+        /// Rank the emptied partition had before removal.
+        rank: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_single_partition() {
+        let pop = Pop::init(5);
+        assert_eq!(pop.k(), 1);
+        assert_eq!(pop.placed(), 5);
+        assert_eq!(pop.members_at(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(pop.rank_of_tuple(3), Some(0));
+        pop.check_invariants();
+    }
+
+    #[test]
+    fn init_empty() {
+        let pop = Pop::init(0);
+        assert_eq!(pop.k(), 0);
+        assert_eq!(pop.placed(), 0);
+        pop.check_invariants();
+    }
+
+    #[test]
+    fn split_preserves_order_and_ids() {
+        let mut pop = Pop::init(6);
+        let (left, right) = pop.split_at(0, vec![0, 1, 2], vec![3, 4, 5]);
+        assert_eq!(pop.k(), 2);
+        assert_eq!(pop.members_at(0), &[0, 1, 2]);
+        assert_eq!(pop.members_at(1), &[3, 4, 5]);
+        assert_eq!(pop.rank_of(left), Some(0));
+        assert_eq!(pop.rank_of(right), Some(1));
+        assert_eq!(pop.rank_of_tuple(4), Some(1));
+        pop.check_invariants();
+
+        // Split the middle; ranks shift.
+        let (a, b) = pop.split_at(1, vec![4], vec![3, 5]);
+        assert_eq!(pop.k(), 3);
+        assert_eq!(pop.members_at(1), &[4]);
+        assert_eq!(pop.members_at(2), &[3, 5]);
+        assert_eq!(pop.rank_of(a), Some(1));
+        assert_eq!(pop.rank_of(b), Some(2));
+        pop.check_invariants();
+
+        // Splitting rank 0 shifts everything after it.
+        pop.split_at(0, vec![0], vec![1, 2]);
+        assert_eq!(pop.k(), 4);
+        assert_eq!(pop.members_at(0), &[0]);
+        assert_eq!(pop.members_at(1), &[1, 2]);
+        assert_eq!(pop.members_at(2), &[4]);
+        assert_eq!(pop.members_at(3), &[3, 5]);
+        pop.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn split_rejects_empty_half() {
+        let mut pop = Pop::init(3);
+        pop.split_at(0, vec![], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sample_is_a_member() {
+        let mut pop = Pop::init(10);
+        pop.split_at(0, vec![0, 1, 2], (3..10).collect());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = pop.sample_at(0, &mut rng);
+            assert!(s < 3);
+            let s = pop.sample_at(1, &mut rng);
+            assert!((3..10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn remove_and_empty_partition() {
+        let mut pop = Pop::init(4);
+        pop.split_at(0, vec![0], vec![1, 2, 3]);
+        assert_eq!(pop.remove(1), RemoveOutcome::Removed);
+        assert_eq!(pop.remove(1), RemoveOutcome::NotPlaced);
+        assert_eq!(pop.remove(0), RemoveOutcome::Emptied { rank: 0 });
+        assert_eq!(pop.k(), 1);
+        assert_eq!(pop.members_at(0), &[3, 2]); // swap_remove order
+        assert_eq!(pop.placed(), 2);
+        pop.check_invariants();
+    }
+
+    #[test]
+    fn place_new_tuple() {
+        let mut pop = Pop::init(3);
+        pop.split_at(0, vec![0], vec![1, 2]);
+        pop.place(7, 1);
+        assert_eq!(pop.rank_of_tuple(7), Some(1));
+        assert_eq!(pop.placed(), 4);
+        pop.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_place_rejected() {
+        let mut pop = Pop::init(3);
+        pop.place(0, 0);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let pop = Pop::init(1000);
+        assert_eq!(pop.storage_bytes(), 1000 * 4 + 4);
+    }
+
+    #[test]
+    fn ranks_roundtrip() {
+        let mut pop = Pop::init(6);
+        pop.split_at(0, vec![0, 1, 2], vec![3, 4, 5]);
+        pop.split_at(1, vec![4], vec![3, 5]);
+        pop.remove(2);
+        let ranks = pop.to_ranks();
+        assert_eq!(ranks[2], u32::MAX, "removed tuple unplaced");
+        let rebuilt = Pop::from_ranks(&ranks, pop.k()).expect("roundtrip");
+        rebuilt.check_invariants();
+        assert_eq!(rebuilt.k(), pop.k());
+        for t in 0..6u32 {
+            assert_eq!(rebuilt.rank_of_tuple(t), pop.rank_of_tuple(t), "tuple {t}");
+        }
+    }
+
+    #[test]
+    fn from_ranks_rejects_garbage() {
+        assert!(Pop::from_ranks(&[0, 5], 2).is_err(), "rank out of range");
+        assert!(Pop::from_ranks(&[0, 0], 2).is_err(), "empty partition");
+        assert!(Pop::from_ranks(&[u32::MAX], 0).expect("empty ok").k() == 0);
+    }
+
+    #[test]
+    fn remove_first_and_last_rank_partitions() {
+        let mut pop = Pop::init(3);
+        pop.split_at(0, vec![0], vec![1, 2]);
+        pop.split_at(1, vec![1], vec![2]);
+        assert_eq!(pop.remove(0), RemoveOutcome::Emptied { rank: 0 });
+        assert_eq!(pop.k(), 2);
+        assert_eq!(pop.rank_of_tuple(1), Some(0));
+        assert_eq!(pop.remove(2), RemoveOutcome::Emptied { rank: 1 });
+        assert_eq!(pop.k(), 1);
+        pop.check_invariants();
+    }
+}

@@ -1,0 +1,168 @@
+//! PRKB(SD+): the naive multi-dimensional baseline (paper §6, "baseline
+//! method").
+//!
+//! Each of the 2d comparison trapdoors is processed independently with the
+//! single-dimension pipeline (§5); the final answer is the intersection of
+//! the per-trapdoor results. Much cheaper than a raw linear scan, but —
+//! unlike PRKB(MD) — it pays full NS-pair scans for every trapdoor and
+//! cannot exploit cross-dimension pruning.
+
+use crate::md::MdDim;
+use crate::sd::process_comparison;
+use crate::selection::{QueryStats, Selection};
+use crate::traits::SpPredicate;
+use prkb_edbms::{SelectionOracle, TupleId};
+use rand::Rng;
+
+/// Processes a d-dimensional range query by intersecting 2d independent
+/// single-predicate selections.
+pub fn process_range_sdplus<O, R>(
+    dims: &mut [MdDim<O::Pred>],
+    oracle: &O,
+    rng: &mut R,
+    update: bool,
+) -> Selection
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+    R: Rng,
+{
+    let qpf_before = oracle.qpf_uses();
+    let k_before: usize = dims.iter().map(|d| d.knowledge.k()).sum();
+    let n = oracle.n_slots();
+    let total_preds = dims.len() * 2;
+
+    let mut hits: Vec<u8> = vec![0; n];
+    let mut splits = 0usize;
+    for dim in dims.iter_mut() {
+        for j in 0..2 {
+            let pred = dim.preds[j].clone();
+            let sel = process_comparison(&mut dim.knowledge, oracle, &pred, rng, update);
+            splits += sel.stats.splits;
+            for t in sel.tuples {
+                hits[t as usize] += 1;
+            }
+        }
+    }
+
+    let tuples: Vec<TupleId> = (0..n as TupleId)
+        .filter(|&t| hits[t as usize] as usize == total_preds)
+        .collect();
+
+    Selection {
+        tuples,
+        stats: QueryStats {
+            qpf_uses: oracle.qpf_uses() - qpf_before,
+            k_before,
+            k_after: dims.iter().map(|d| d.knowledge.k()).sum(),
+            splits,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::Knowledge;
+    use crate::md::{process_range_md, MdUpdatePolicy};
+    use prkb_edbms::testing::PlainOracle;
+    use prkb_edbms::{ComparisonOp, Predicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, d: usize, seed: u64) -> (Vec<Knowledge<Predicate>>, PlainOracle) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let columns: Vec<Vec<u64>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..10_000u64)).collect())
+            .collect();
+        let oracle = PlainOracle::from_columns(columns);
+        let kbs = (0..d).map(|_| Knowledge::init(n)).collect();
+        (kbs, oracle)
+    }
+
+    fn dims_for(
+        kbs: Vec<Knowledge<Predicate>>,
+        ranges: &[(u64, u64)],
+    ) -> Vec<MdDim<Predicate>> {
+        kbs.into_iter()
+            .enumerate()
+            .map(|(a, knowledge)| MdDim {
+                knowledge,
+                preds: [
+                    Predicate::cmp(a as u32, ComparisonOp::Gt, ranges[a].0),
+                    Predicate::cmp(a as u32, ComparisonOp::Lt, ranges[a].1),
+                ],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sdplus_matches_ground_truth() {
+        let (kbs, oracle) = setup(2000, 2, 1);
+        let ranges = [(1000, 4000), (3000, 7000)];
+        let mut dims = dims_for(kbs, &ranges);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = process_range_sdplus(&mut dims, &oracle, &mut rng, true);
+        let preds: Vec<Predicate> = dims.iter().flat_map(|d| d.preds).collect();
+        assert_eq!(sel.sorted(), oracle.expected_conjunction(&preds));
+        for d in &dims {
+            d.knowledge.check_invariants();
+        }
+    }
+
+    #[test]
+    fn sdplus_and_md_agree() {
+        for d in [2usize, 3] {
+            let (kbs, oracle) = setup(1500, d, 3);
+            let ranges: Vec<(u64, u64)> =
+                (0..d as u64).map(|i| (i * 500, 5000 + i * 500)).collect();
+
+            // Warm both engines identically first.
+            let mut dims = dims_for(kbs, &ranges);
+            let mut rng = StdRng::seed_from_u64(4);
+            let a = process_range_sdplus(&mut dims, &oracle, &mut rng, true);
+            let b = process_range_md(&mut dims, &oracle, &mut rng, MdUpdatePolicy::PartialOnly);
+            assert_eq!(a.sorted(), b.sorted(), "d={d}");
+            for dd in &dims {
+                dd.knowledge.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn md_beats_sdplus_on_warmed_knowledge() {
+        // With warmed PRKBs, PRKB(MD) must use fewer QPF than PRKB(SD+)
+        // because it only tests NS tuples inside the candidate band.
+        let (kbs, oracle) = setup(6000, 3, 5);
+        let warm_ranges = [(0u64, 10_000u64); 3];
+        let mut dims = dims_for(kbs, &warm_ranges);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Warm with random single-dim queries.
+        for round in 0..25u64 {
+            for a in 0..3u32 {
+                let bound = (round * 397 + a as u64 * 131) % 10_000;
+                let p = Predicate::cmp(a, ComparisonOp::Lt, bound);
+                process_comparison(&mut dims[a as usize].knowledge, &oracle, &p, &mut rng, true);
+            }
+        }
+        // Narrow query.
+        for (a, dim) in dims.iter_mut().enumerate() {
+            let lo = 2000 + a as u64 * 700;
+            dim.preds = [
+                Predicate::cmp(a as u32, ComparisonOp::Gt, lo),
+                Predicate::cmp(a as u32, ComparisonOp::Lt, lo + 600),
+            ];
+        }
+        oracle.reset_uses();
+        let md = process_range_md(&mut dims, &oracle, &mut rng, MdUpdatePolicy::Frozen);
+        oracle.reset_uses();
+        let sdp = process_range_sdplus(&mut dims, &oracle, &mut rng, false);
+        assert_eq!(md.sorted(), sdp.sorted());
+        assert!(
+            md.stats.qpf_uses < sdp.stats.qpf_uses,
+            "MD {} vs SD+ {}",
+            md.stats.qpf_uses,
+            sdp.stats.qpf_uses
+        );
+    }
+}

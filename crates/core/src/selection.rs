@@ -1,0 +1,34 @@
+//! Selection results with cost accounting.
+
+use prkb_edbms::TupleId;
+
+/// Per-query statistics — the quantities the paper's evaluation reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// QPF uses spent by this query (`# QPF use` in the paper's figures).
+    pub qpf_uses: u64,
+    /// Partition count before processing.
+    pub k_before: usize,
+    /// Partition count after processing (grows on inequivalent trapdoors).
+    pub k_after: usize,
+    /// Number of partition splits applied by `updatePRKB`.
+    pub splits: usize,
+}
+
+/// The result of a selection: satisfying tuple ids (unsorted) plus stats.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// Tuples satisfying the selection. Order is unspecified.
+    pub tuples: Vec<TupleId>,
+    /// Cost accounting for this query.
+    pub stats: QueryStats,
+}
+
+impl Selection {
+    /// Sorted copy of the result ids (test/display convenience).
+    pub fn sorted(&self) -> Vec<TupleId> {
+        let mut v = self.tuples.clone();
+        v.sort_unstable();
+        v
+    }
+}

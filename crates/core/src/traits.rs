@@ -1,0 +1,47 @@
+//! Glue traits between the PRKB engine and the predicate types it routes.
+
+use prkb_edbms::{AttrId, EncryptedPredicate, Predicate};
+
+/// What the PRKB engine needs to know about a trapdoor: which attribute it
+/// concerns (SP-visible per the paper) and how many bytes the service
+/// provider spends retaining it (separator storage accounting, Table 3).
+pub trait SpPredicate: Clone {
+    /// The attribute this predicate concerns.
+    fn attr(&self) -> AttrId;
+    /// Bytes required to retain this predicate at the service provider.
+    fn storage_bytes(&self) -> usize;
+}
+
+impl SpPredicate for EncryptedPredicate {
+    fn attr(&self) -> AttrId {
+        EncryptedPredicate::attr(self)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        EncryptedPredicate::storage_bytes(self)
+    }
+}
+
+/// Plain predicates act as "trapdoors" for the plaintext test oracle.
+impl SpPredicate for Predicate {
+    fn attr(&self) -> AttrId {
+        Predicate::attr(self)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        std::mem::size_of::<Predicate>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prkb_edbms::ComparisonOp;
+
+    #[test]
+    fn plain_predicate_impl() {
+        let p = Predicate::cmp(3, ComparisonOp::Lt, 9);
+        assert_eq!(SpPredicate::attr(&p), 3);
+        assert!(SpPredicate::storage_bytes(&p) > 0);
+    }
+}

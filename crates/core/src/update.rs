@@ -1,0 +1,73 @@
+//! Shared `updatePRKB` ordering rule (paper §5.3).
+//!
+//! A split's two halves are ordered by matching QPF labels with a
+//! known-labelled neighbour: the half whose label equals the *left*
+//! neighbour's label is placed adjacent to it (and symmetrically for the
+//! right neighbour). The very first split of a 1-partition POP is
+//! information-theoretically unconstrained and ordered false-first.
+
+use prkb_edbms::TupleId;
+
+/// Orders `(true_half, false_half)` of a split at `rank` in a POP with `k`
+/// partitions. `label_of` reports the QPF label of a neighbouring rank when
+/// this query established it. Returns `(left, right, left_label)`.
+pub(crate) fn order_halves(
+    k: usize,
+    rank: usize,
+    true_half: Vec<TupleId>,
+    false_half: Vec<TupleId>,
+    label_of: impl Fn(usize) -> Option<bool>,
+) -> (Vec<TupleId>, Vec<TupleId>, bool) {
+    let left_neighbor = if rank > 0 { label_of(rank - 1) } else { None };
+    let right_neighbor = if rank + 1 < k { label_of(rank + 1) } else { None };
+
+    let true_first = if let Some(l) = left_neighbor {
+        l
+    } else if let Some(r) = right_neighbor {
+        !r
+    } else {
+        false
+    };
+
+    if true_first {
+        (true_half, false_half, true)
+    } else {
+        (false_half, true_half, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_neighbor_wins() {
+        // Left neighbour is F-homogeneous → false half adjacent to it.
+        let (l, r, ll) = order_halves(3, 1, vec![1], vec![2], |rk| {
+            if rk == 0 {
+                Some(false)
+            } else {
+                Some(true)
+            }
+        });
+        assert_eq!((l, r, ll), (vec![2], vec![1], false));
+        // Left neighbour T-homogeneous → true half left.
+        let (l, r, ll) = order_halves(3, 1, vec![1], vec![2], |_| Some(true));
+        assert_eq!((l, r, ll), (vec![1], vec![2], true));
+    }
+
+    #[test]
+    fn right_neighbor_used_when_no_left() {
+        // rank 0: right neighbour T-homogeneous → true half goes right.
+        let (l, r, ll) = order_halves(3, 0, vec![1], vec![2], |_| Some(true));
+        assert_eq!((l, r, ll), (vec![2], vec![1], false));
+        let (l, r, ll) = order_halves(3, 0, vec![1], vec![2], |_| Some(false));
+        assert_eq!((l, r, ll), (vec![1], vec![2], true));
+    }
+
+    #[test]
+    fn unconstrained_first_split() {
+        let (l, r, ll) = order_halves(1, 0, vec![1], vec![2], |_| None);
+        assert_eq!((l, r, ll), (vec![2], vec![1], false));
+    }
+}

@@ -1,0 +1,237 @@
+//! AES-128 (FIPS 197) block cipher and CTR keystream.
+//!
+//! Cipherbase — the trusted-hardware EDBMS the paper deploys PRKB on —
+//! decrypts AES-encrypted cells inside its FPGA. This module provides the
+//! same cell cipher as an alternative suite to ChaCha20 (see
+//! [`crate::cipher::CipherSuite`]), implemented from the specification and
+//! validated against the FIPS 197 / SP 800-38A vectors.
+//!
+//! The implementation is a straightforward table-free byte-oriented one
+//! (S-box lookups plus xtime multiplication): clarity over speed, and no
+//! large tables to act as cache side-channel amplifiers.
+
+/// AES-128 key length in bytes.
+pub const KEY_LEN: usize = 16;
+/// Block length in bytes.
+pub const BLOCK_LEN: usize = 16;
+/// Number of rounds for AES-128.
+const ROUNDS: usize = 10;
+
+/// The AES S-box.
+#[rustfmt::skip]
+const SBOX: [u8; 256] = [
+    0x63,0x7c,0x77,0x7b,0xf2,0x6b,0x6f,0xc5,0x30,0x01,0x67,0x2b,0xfe,0xd7,0xab,0x76,
+    0xca,0x82,0xc9,0x7d,0xfa,0x59,0x47,0xf0,0xad,0xd4,0xa2,0xaf,0x9c,0xa4,0x72,0xc0,
+    0xb7,0xfd,0x93,0x26,0x36,0x3f,0xf7,0xcc,0x34,0xa5,0xe5,0xf1,0x71,0xd8,0x31,0x15,
+    0x04,0xc7,0x23,0xc3,0x18,0x96,0x05,0x9a,0x07,0x12,0x80,0xe2,0xeb,0x27,0xb2,0x75,
+    0x09,0x83,0x2c,0x1a,0x1b,0x6e,0x5a,0xa0,0x52,0x3b,0xd6,0xb3,0x29,0xe3,0x2f,0x84,
+    0x53,0xd1,0x00,0xed,0x20,0xfc,0xb1,0x5b,0x6a,0xcb,0xbe,0x39,0x4a,0x4c,0x58,0xcf,
+    0xd0,0xef,0xaa,0xfb,0x43,0x4d,0x33,0x85,0x45,0xf9,0x02,0x7f,0x50,0x3c,0x9f,0xa8,
+    0x51,0xa3,0x40,0x8f,0x92,0x9d,0x38,0xf5,0xbc,0xb6,0xda,0x21,0x10,0xff,0xf3,0xd2,
+    0xcd,0x0c,0x13,0xec,0x5f,0x97,0x44,0x17,0xc4,0xa7,0x7e,0x3d,0x64,0x5d,0x19,0x73,
+    0x60,0x81,0x4f,0xdc,0x22,0x2a,0x90,0x88,0x46,0xee,0xb8,0x14,0xde,0x5e,0x0b,0xdb,
+    0xe0,0x32,0x3a,0x0a,0x49,0x06,0x24,0x5c,0xc2,0xd3,0xac,0x62,0x91,0x95,0xe4,0x79,
+    0xe7,0xc8,0x37,0x6d,0x8d,0xd5,0x4e,0xa9,0x6c,0x56,0xf4,0xea,0x65,0x7a,0xae,0x08,
+    0xba,0x78,0x25,0x2e,0x1c,0xa6,0xb4,0xc6,0xe8,0xdd,0x74,0x1f,0x4b,0xbd,0x8b,0x8a,
+    0x70,0x3e,0xb5,0x66,0x48,0x03,0xf6,0x0e,0x61,0x35,0x57,0xb9,0x86,0xc1,0x1d,0x9e,
+    0xe1,0xf8,0x98,0x11,0x69,0xd9,0x8e,0x94,0x9b,0x1e,0x87,0xe9,0xce,0x55,0x28,0xdf,
+    0x8c,0xa1,0x89,0x0d,0xbf,0xe6,0x42,0x68,0x41,0x99,0x2d,0x0f,0xb0,0x54,0xbb,0x16,
+];
+
+/// Round constants for the key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+/// An expanded AES-128 key (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; BLOCK_LEN]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; BLOCK_LEN]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// XORs the CTR keystream for (`nonce`, starting `counter`) into `data`
+    /// — encryption and decryption alike. The counter block is
+    /// `nonce (12 bytes) || counter (4 bytes, big-endian)`, as in
+    /// SP 800-38A-style CTR usage.
+    pub fn apply_ctr(&self, nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+        let mut ctr = counter;
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block[..12].copy_from_slice(nonce);
+            block[12..].copy_from_slice(&ctr.to_be_bytes());
+            self.encrypt_block(&mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aes128").finish_non_exhaustive()
+    }
+}
+
+fn add_round_key(state: &mut [u8; BLOCK_LEN], rk: &[u8; BLOCK_LEN]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; BLOCK_LEN]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// Column-major state: byte index = col * 4 + row.
+fn shift_rows(state: &mut [u8; BLOCK_LEN]) {
+    for row in 1..4 {
+        let mut tmp = [0u8; 4];
+        for col in 0..4 {
+            tmp[col] = state[((col + row) % 4) * 4 + row];
+        }
+        for col in 0..4 {
+            state[col * 4 + row] = tmp[col];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; BLOCK_LEN]) {
+    for col in 0..4 {
+        let c = &mut state[col * 4..col * 4 + 4];
+        let a = [c[0], c[1], c[2], c[3]];
+        let all = a[0] ^ a[1] ^ a[2] ^ a[3];
+        let a0 = a[0];
+        for i in 0..4 {
+            let next = if i == 3 { a0 } else { a[i + 1] };
+            c[i] = a[i] ^ all ^ xtime(a[i] ^ next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // FIPS 197 Appendix B.
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let mut block: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    // FIPS 197 Appendix C.1.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt (block 1).
+    #[test]
+    fn sp800_38a_ctr_first_block() {
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        // The SP 800-38A counter block f0f1..feff: treat the first 12 bytes
+        // as the nonce and the last 4 as the starting counter.
+        let nonce: [u8; 12] = unhex("f0f1f2f3f4f5f6f7f8f9fafb").try_into().unwrap();
+        let counter = u32::from_be_bytes(unhex("fcfdfeff").try_into().unwrap());
+        let mut data = unhex("6bc1bee22e409f96e93d7e117393172a");
+        aes.apply_ctr(&nonce, counter, &mut data);
+        assert_eq!(hex(&data), "874d6191b620e3261bef6864990db6ce");
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_counter_advance() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let nonce = [1u8; 12];
+        let msg: Vec<u8> = (0..100u8).collect();
+        let mut buf = msg.clone();
+        aes.apply_ctr(&nonce, 5, &mut buf);
+        assert_ne!(buf, msg);
+        // Split application must agree with whole application.
+        let mut split = msg.clone();
+        aes.apply_ctr(&nonce, 5, &mut split[..32]);
+        aes.apply_ctr(&nonce, 7, &mut split[32..]);
+        assert_eq!(split, buf);
+        aes.apply_ctr(&nonce, 5, &mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_ciphertexts() {
+        let a = Aes128::new(&[1u8; 16]);
+        let b = Aes128::new(&[2u8; 16]);
+        let mut x = [0u8; 16];
+        let mut y = [0u8; 16];
+        a.encrypt_block(&mut x);
+        b.encrypt_block(&mut y);
+        assert_ne!(x, y);
+    }
+}

@@ -1,0 +1,459 @@
+//! Record ciphers for fixed-width attribute values.
+//!
+//! The EDBMS stores every attribute value as an independent ciphertext so
+//! that the service provider can hand a single cell to the trusted machine
+//! for QPF evaluation. Two constructions are provided:
+//!
+//! * [`ValueCipher`] — randomized: fresh nonce per encryption, so equal
+//!   plaintexts yield unlinkable ciphertexts (the paper's security baseline:
+//!   SP learns nothing from ciphertexts alone).
+//! * [`DetCipher`] — deterministic (SIV-style nonce = PRF(plaintext)): used
+//!   for trapdoor parameters and in tests where byte-stable ciphertexts are
+//!   convenient. Never used for stored tuple data.
+
+use crate::aes::Aes128;
+use crate::chacha20::{self, NONCE_LEN};
+use crate::error::CryptoError;
+use crate::prf::Prf;
+use crate::siphash::{siphash24, SipKey};
+use crate::keys::SubKey;
+use bytes::Bytes;
+use rand::RngCore;
+
+/// Which stream cipher encrypts the cell payloads.
+///
+/// ChaCha20 is the default; AES-128-CTR matches Cipherbase's FPGA-resident
+/// cell cipher for deployments that want that fidelity. The integrity tag
+/// binds the suite, so ciphertexts cannot be confused across suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CipherSuite {
+    /// ChaCha20 (RFC 8439) — the default.
+    #[default]
+    ChaCha20,
+    /// AES-128 in CTR mode (FIPS 197 / SP 800-38A) — Cipherbase fidelity.
+    Aes128Ctr,
+}
+
+impl CipherSuite {
+    fn tag_byte(self) -> u8 {
+        match self {
+            CipherSuite::ChaCha20 => 0,
+            CipherSuite::Aes128Ctr => 1,
+        }
+    }
+}
+
+/// Suite-specialized keystream state.
+#[derive(Clone)]
+enum StreamKey {
+    ChaCha20([u8; 32]),
+    Aes128Ctr(Aes128),
+}
+
+impl StreamKey {
+    fn derive(key: &SubKey, suite: CipherSuite) -> Self {
+        match suite {
+            CipherSuite::ChaCha20 => StreamKey::ChaCha20(*key.as_bytes()),
+            CipherSuite::Aes128Ctr => {
+                // Derive an independent 16-byte AES key from the sub-key so
+                // the two suites never share raw key material.
+                let prf = Prf::new(*key.as_bytes());
+                let full = prf.eval(b"prkb.cipher.aeskey.v1");
+                let mut k = [0u8; 16];
+                k.copy_from_slice(&full[..16]);
+                StreamKey::Aes128Ctr(Aes128::new(&k))
+            }
+        }
+    }
+
+    fn suite(&self) -> CipherSuite {
+        match self {
+            StreamKey::ChaCha20(_) => CipherSuite::ChaCha20,
+            StreamKey::Aes128Ctr(_) => CipherSuite::Aes128Ctr,
+        }
+    }
+
+    fn apply(&self, nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+        match self {
+            StreamKey::ChaCha20(k) => chacha20::apply_keystream(k, nonce, counter, data),
+            StreamKey::Aes128Ctr(aes) => aes.apply_ctr(nonce, counter, data),
+        }
+    }
+}
+
+/// Width of the encrypted payload (a `u64` attribute value).
+pub const PAYLOAD_LEN: usize = 8;
+/// Width of the integrity tag (truncated keyed SipHash).
+pub const TAG_LEN: usize = 8;
+/// Total ciphertext width: nonce || payload || tag.
+pub const CIPHERTEXT_LEN: usize = NONCE_LEN + PAYLOAD_LEN + TAG_LEN;
+
+/// An encrypted attribute value as stored at the service provider.
+///
+/// Cheap to clone ([`Bytes`] is reference counted); equality is byte
+/// equality of the ciphertext, which for [`ValueCipher`] says nothing about
+/// plaintext equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ciphertext(Bytes);
+
+impl Ciphertext {
+    /// Wraps raw bytes (must be exactly [`CIPHERTEXT_LEN`] long).
+    pub fn from_bytes(bytes: Bytes) -> Result<Self, CryptoError> {
+        if bytes.len() != CIPHERTEXT_LEN {
+            return Err(CryptoError::CiphertextTooShort {
+                expected: CIPHERTEXT_LEN,
+                actual: bytes.len(),
+            });
+        }
+        Ok(Ciphertext(bytes))
+    }
+
+    /// Raw ciphertext bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Serialized size in bytes (used for storage accounting).
+    pub const fn serialized_len() -> usize {
+        CIPHERTEXT_LEN
+    }
+}
+
+fn tag_key(key: &SubKey) -> SipKey {
+    // Separate the tag key from the stream key under the same sub-key.
+    let prf = Prf::new(*key.as_bytes());
+    let t = prf.eval(b"prkb.cipher.tagkey.v1");
+    t[..16].try_into().expect("16-byte slice")
+}
+
+fn compute_tag(
+    tkey: &SipKey,
+    suite: CipherSuite,
+    nonce: &[u8; NONCE_LEN],
+    ct: &[u8; PAYLOAD_LEN],
+) -> [u8; TAG_LEN] {
+    // The suite byte binds the ciphertext to its cipher: a cell sealed with
+    // one suite fails authentication under the other.
+    let mut buf = [0u8; 1 + NONCE_LEN + PAYLOAD_LEN];
+    buf[0] = suite.tag_byte();
+    buf[1..1 + NONCE_LEN].copy_from_slice(nonce);
+    buf[1 + NONCE_LEN..].copy_from_slice(ct);
+    siphash24(tkey, &buf).to_le_bytes()
+}
+
+fn seal_into(stream: &StreamKey, tkey: &SipKey, nonce: [u8; NONCE_LEN], value: u64, out: &mut Vec<u8>) {
+    let mut payload = value.to_le_bytes();
+    stream.apply(&nonce, 1, &mut payload);
+    let tag = compute_tag(tkey, stream.suite(), &nonce, &payload);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&tag);
+}
+
+fn seal(stream: &StreamKey, tkey: &SipKey, nonce: [u8; NONCE_LEN], value: u64) -> Ciphertext {
+    let mut out = Vec::with_capacity(CIPHERTEXT_LEN);
+    seal_into(stream, tkey, nonce, value, &mut out);
+    Ciphertext(Bytes::from(out))
+}
+
+fn open_slice(stream: &StreamKey, tkey: &SipKey, bytes: &[u8]) -> Result<u64, CryptoError> {
+    if bytes.len() != CIPHERTEXT_LEN {
+        return Err(CryptoError::CiphertextTooShort {
+            expected: CIPHERTEXT_LEN,
+            actual: bytes.len(),
+        });
+    }
+    let nonce: [u8; NONCE_LEN] = bytes[..NONCE_LEN].try_into().expect("length checked");
+    let payload: [u8; PAYLOAD_LEN] = bytes[NONCE_LEN..NONCE_LEN + PAYLOAD_LEN]
+        .try_into()
+        .expect("length checked");
+    let expected = compute_tag(tkey, stream.suite(), &nonce, &payload);
+    // Constant-shape comparison.
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(&bytes[NONCE_LEN + PAYLOAD_LEN..]) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return Err(CryptoError::TagMismatch);
+    }
+    let mut plain = payload;
+    stream.apply(&nonce, 1, &mut plain);
+    Ok(u64::from_le_bytes(plain))
+}
+
+/// Randomized value encryption: a suite keystream (ChaCha20 by default)
+/// with a fresh random nonce plus a keyed, suite-binding integrity tag.
+#[derive(Clone)]
+pub struct ValueCipher {
+    stream: StreamKey,
+    tkey: SipKey,
+}
+
+impl ValueCipher {
+    /// Builds a cipher from a derived sub-key (default suite: ChaCha20).
+    pub fn new(key: SubKey) -> Self {
+        Self::with_suite(key, CipherSuite::default())
+    }
+
+    /// Builds a cipher with an explicit suite.
+    pub fn with_suite(key: SubKey, suite: CipherSuite) -> Self {
+        let tkey = tag_key(&key);
+        ValueCipher {
+            stream: StreamKey::derive(&key, suite),
+            tkey,
+        }
+    }
+
+    /// The suite this cipher seals with.
+    pub fn suite(&self) -> CipherSuite {
+        self.stream.suite()
+    }
+
+    /// Encrypts `value` with a nonce drawn from `rng`.
+    pub fn encrypt<R: RngCore>(&self, rng: &mut R, value: u64) -> Ciphertext {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        seal(&self.stream, &self.tkey, nonce, value)
+    }
+
+    /// Decrypts, verifying the integrity tag.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Result<u64, CryptoError> {
+        open_slice(&self.stream, &self.tkey, ct.as_bytes())
+    }
+
+    /// Appends the ciphertext of `value` (exactly [`CIPHERTEXT_LEN`] bytes)
+    /// to `out` without intermediate allocation — the hot path for bulk
+    /// column encryption.
+    pub fn encrypt_into<R: RngCore>(&self, rng: &mut R, value: u64, out: &mut Vec<u8>) {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        seal_into(&self.stream, &self.tkey, nonce, value, out);
+    }
+
+    /// Decrypts a raw [`CIPHERTEXT_LEN`]-byte slice (flat column storage
+    /// path), verifying the integrity tag.
+    pub fn decrypt_slice(&self, bytes: &[u8]) -> Result<u64, CryptoError> {
+        open_slice(&self.stream, &self.tkey, bytes)
+    }
+}
+
+impl std::fmt::Debug for ValueCipher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueCipher").finish_non_exhaustive()
+    }
+}
+
+/// Deterministic (SIV-style) value encryption: the nonce is a PRF of the
+/// plaintext, so equal plaintexts produce equal ciphertexts. Used only for
+/// trapdoor parameters.
+#[derive(Clone)]
+pub struct DetCipher {
+    stream: StreamKey,
+    tkey: SipKey,
+    nonce_prf: Prf,
+}
+
+impl DetCipher {
+    /// Builds a deterministic cipher from a derived sub-key
+    /// (default suite: ChaCha20).
+    pub fn new(key: SubKey) -> Self {
+        Self::with_suite(key, CipherSuite::default())
+    }
+
+    /// Builds a deterministic cipher with an explicit suite.
+    pub fn with_suite(key: SubKey, suite: CipherSuite) -> Self {
+        let tkey = tag_key(&key);
+        let prf = Prf::new(*key.as_bytes());
+        DetCipher {
+            stream: StreamKey::derive(&key, suite),
+            tkey,
+            nonce_prf: prf,
+        }
+    }
+
+    /// Encrypts `value`; equal values give byte-equal ciphertexts.
+    pub fn encrypt(&self, value: u64) -> Ciphertext {
+        let derived = self.nonce_prf.eval2(b"prkb.det.nonce.v1", &value.to_le_bytes());
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&derived[..NONCE_LEN]);
+        seal(&self.stream, &self.tkey, nonce, value)
+    }
+
+    /// Decrypts, verifying the integrity tag.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Result<u64, CryptoError> {
+        open_slice(&self.stream, &self.tkey, ct.as_bytes())
+    }
+}
+
+impl std::fmt::Debug for DetCipher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetCipher").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{KeyPurpose, MasterKey};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cipher() -> ValueCipher {
+        let mk = MasterKey::from_bytes([1u8; 32]);
+        ValueCipher::new(mk.derive(KeyPurpose::ValueEncryption, "t", 0))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(7);
+        for v in [0u64, 1, 42, u64::MAX, 30_000_000] {
+            let ct = c.encrypt(&mut rng, v);
+            assert_eq!(c.decrypt(&ct).unwrap(), v);
+            assert_eq!(ct.as_bytes().len(), CIPHERTEXT_LEN);
+        }
+    }
+
+    #[test]
+    fn randomized_hides_equality() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = c.encrypt(&mut rng, 42);
+        let b = c.encrypt(&mut rng, 42);
+        assert_ne!(a, b, "equal plaintexts must be unlinkable");
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ct = c.encrypt(&mut rng, 42);
+        for i in 0..CIPHERTEXT_LEN {
+            let mut bytes = ct.as_bytes().to_vec();
+            bytes[i] ^= 0x01;
+            let bad = Ciphertext::from_bytes(Bytes::from(bytes)).unwrap();
+            assert_eq!(c.decrypt(&bad), Err(CryptoError::TagMismatch), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mk = MasterKey::from_bytes([1u8; 32]);
+        let c1 = ValueCipher::new(mk.derive(KeyPurpose::ValueEncryption, "t", 0));
+        let c2 = ValueCipher::new(mk.derive(KeyPurpose::ValueEncryption, "t", 1));
+        let mut rng = StdRng::seed_from_u64(7);
+        let ct = c1.encrypt(&mut rng, 42);
+        assert_eq!(c2.decrypt(&ct), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn slice_api_matches_owned_api() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = Vec::new();
+        for v in [0u64, 7, u64::MAX] {
+            c.encrypt_into(&mut rng, v, &mut buf);
+        }
+        assert_eq!(buf.len(), 3 * CIPHERTEXT_LEN);
+        assert_eq!(c.decrypt_slice(&buf[..CIPHERTEXT_LEN]).unwrap(), 0);
+        assert_eq!(
+            c.decrypt_slice(&buf[CIPHERTEXT_LEN..2 * CIPHERTEXT_LEN]).unwrap(),
+            7
+        );
+        assert_eq!(c.decrypt_slice(&buf[2 * CIPHERTEXT_LEN..]).unwrap(), u64::MAX);
+        // Owned decrypt on slice-produced bytes also works.
+        let ct = Ciphertext::from_bytes(Bytes::copy_from_slice(&buf[..CIPHERTEXT_LEN])).unwrap();
+        assert_eq!(c.decrypt(&ct).unwrap(), 0);
+        // Bad length rejected.
+        assert!(c.decrypt_slice(&buf[..5]).is_err());
+    }
+
+    #[test]
+    fn det_cipher_is_deterministic_and_invertible() {
+        let mk = MasterKey::from_bytes([2u8; 32]);
+        let c = DetCipher::new(mk.derive(KeyPurpose::TrapdoorEncryption, "t", 0));
+        let a = c.encrypt(1234);
+        let b = c.encrypt(1234);
+        assert_eq!(a, b);
+        assert_ne!(a, c.encrypt(1235));
+        assert_eq!(c.decrypt(&a).unwrap(), 1234);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(matches!(
+            Ciphertext::from_bytes(Bytes::from_static(&[0u8; 5])),
+            Err(CryptoError::CiphertextTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn det_and_randomized_are_cross_key_independent() {
+        let mk = MasterKey::from_bytes([2u8; 32]);
+        let det = DetCipher::new(mk.derive(KeyPurpose::TrapdoorEncryption, "t", 0));
+        let val = ValueCipher::new(mk.derive(KeyPurpose::ValueEncryption, "t", 0));
+        let ct = det.encrypt(9);
+        assert!(val.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn aes_suite_roundtrips() {
+        let mk = MasterKey::from_bytes([4u8; 32]);
+        let c = ValueCipher::with_suite(
+            mk.derive(KeyPurpose::ValueEncryption, "t", 0),
+            CipherSuite::Aes128Ctr,
+        );
+        assert_eq!(c.suite(), CipherSuite::Aes128Ctr);
+        let mut rng = StdRng::seed_from_u64(5);
+        for v in [0u64, 7, u64::MAX] {
+            let ct = c.encrypt(&mut rng, v);
+            assert_eq!(c.decrypt(&ct).unwrap(), v);
+        }
+        let d = DetCipher::with_suite(
+            mk.derive(KeyPurpose::TrapdoorEncryption, "t", 0),
+            CipherSuite::Aes128Ctr,
+        );
+        assert_eq!(d.decrypt(&d.encrypt(12345)).unwrap(), 12345);
+    }
+
+    #[test]
+    fn suites_are_not_interchangeable() {
+        // Same sub-key, different suite: the suite-binding tag must reject.
+        let mk = MasterKey::from_bytes([4u8; 32]);
+        let key = mk.derive(KeyPurpose::ValueEncryption, "t", 0);
+        let chacha = ValueCipher::with_suite(key.clone(), CipherSuite::ChaCha20);
+        let aes = ValueCipher::with_suite(key, CipherSuite::Aes128Ctr);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ct = chacha.encrypt(&mut rng, 42);
+        assert_eq!(aes.decrypt(&ct), Err(CryptoError::TagMismatch));
+        let ct = aes.encrypt(&mut rng, 42);
+        assert_eq!(chacha.decrypt(&ct), Err(CryptoError::TagMismatch));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::keys::{KeyPurpose, MasterKey};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_value(v in any::<u64>(), seed in any::<u64>()) {
+            let mk = MasterKey::from_bytes([9u8; 32]);
+            let c = ValueCipher::new(mk.derive(KeyPurpose::ValueEncryption, "t", 0));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ct = c.encrypt(&mut rng, v);
+            prop_assert_eq!(c.decrypt(&ct).unwrap(), v);
+        }
+
+        #[test]
+        fn det_roundtrip_any_value(v in any::<u64>()) {
+            let mk = MasterKey::from_bytes([9u8; 32]);
+            let c = DetCipher::new(mk.derive(KeyPurpose::TrapdoorEncryption, "t", 0));
+            prop_assert_eq!(c.decrypt(&c.encrypt(v)).unwrap(), v);
+        }
+    }
+}

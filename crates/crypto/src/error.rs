@@ -1,0 +1,55 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+/// Errors raised by primitives in this crate.
+///
+/// Failures here are *structural* (wrong lengths, corrupted ciphertext
+/// framing) rather than probabilistic: the primitives themselves are
+/// deterministic once keyed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A ciphertext buffer was shorter than the fixed framing requires.
+    CiphertextTooShort {
+        /// Bytes expected at minimum.
+        expected: usize,
+        /// Bytes actually provided.
+        actual: usize,
+    },
+    /// A key of the wrong length was supplied to a fixed-key primitive.
+    BadKeyLength {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes actually provided.
+        actual: usize,
+    },
+    /// The integrity tag embedded in a ciphertext did not verify.
+    TagMismatch,
+    /// HKDF was asked to expand more output than 255 blocks allow.
+    HkdfOutputTooLong {
+        /// Bytes requested.
+        requested: usize,
+        /// Maximum supported by RFC 5869 with SHA-256.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::CiphertextTooShort { expected, actual } => write!(
+                f,
+                "ciphertext too short: need at least {expected} bytes, got {actual}"
+            ),
+            CryptoError::BadKeyLength { expected, actual } => {
+                write!(f, "bad key length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::TagMismatch => write!(f, "integrity tag mismatch"),
+            CryptoError::HkdfOutputTooLong { requested, max } => {
+                write!(f, "HKDF output too long: requested {requested}, max {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,135 @@
+//! HKDF-SHA256 (RFC 5869), used for deriving independent sub-keys from the
+//! data owner's master key. Validated against the RFC's appendix vectors.
+
+use crate::error::CryptoError;
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// Maximum HKDF-SHA256 output: 255 blocks of the hash length.
+pub const MAX_OUTPUT_LEN: usize = 255 * DIGEST_LEN;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `out.len()` bytes of output keying
+/// material bound to `info`.
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) -> Result<(), CryptoError> {
+    if out.len() > MAX_OUTPUT_LEN {
+        return Err(CryptoError::HkdfOutputTooLong {
+            requested: out.len(),
+            max: MAX_OUTPUT_LEN,
+        });
+    }
+    let mut t: Vec<u8> = Vec::with_capacity(DIGEST_LEN);
+    let mut filled = 0usize;
+    let mut counter = 1u8;
+    while filled < out.len() {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        let take = (out.len() - filled).min(DIGEST_LEN);
+        out[filled..filled + take].copy_from_slice(&block[..take]);
+        filled += take;
+        t.clear();
+        t.extend_from_slice(&block);
+        counter = counter.wrapping_add(1);
+    }
+    Ok(())
+}
+
+/// One-call Extract-then-Expand producing a fixed 32-byte key.
+pub fn derive_key(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; DIGEST_LEN] {
+    let prk = extract(salt, ikm);
+    let mut out = [0u8; DIGEST_LEN];
+    // 32 bytes is always within bounds, so the expand cannot fail.
+    expand(&prk, info, &mut out).expect("32-byte output is within HKDF bounds");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 Appendix A, Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Appendix A, Test Case 2 (longer inputs/outputs).
+    #[test]
+    fn rfc5869_case_2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let prk = extract(&salt, &ikm);
+        let mut okm = [0u8; 82];
+        expand(&prk, &info, &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    // RFC 5869 Appendix A, Test Case 3 (zero-length salt & info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn output_too_long_rejected() {
+        let prk = [0u8; DIGEST_LEN];
+        let mut out = vec![0u8; MAX_OUTPUT_LEN + 1];
+        assert!(matches!(
+            expand(&prk, b"", &mut out),
+            Err(CryptoError::HkdfOutputTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn derive_key_distinct_infos_distinct_keys() {
+        let k1 = derive_key(b"salt", b"master", b"attr:0");
+        let k2 = derive_key(b"salt", b"master", b"attr:1");
+        assert_ne!(k1, k2);
+        // Deterministic.
+        assert_eq!(k1, derive_key(b"salt", b"master", b"attr:0"));
+    }
+}

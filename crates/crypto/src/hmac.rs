@@ -1,0 +1,147 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1), validated against RFC 4231 vectors.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Outer-pad key block, applied at finalization.
+    okey: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length; keys longer
+    /// than the block size are hashed first, per the specification).
+    pub fn new(key: &[u8]) -> Self {
+        let mut kblock = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            kblock[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            kblock[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ikey = [0u8; BLOCK_LEN];
+        let mut okey = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ikey[i] = kblock[i] ^ 0x36;
+            okey[i] = kblock[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ikey);
+        HmacSha256 { inner, okey }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte MAC.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.okey);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-shape tag comparison (no early exit on the data bytes).
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let computed = Self::mac(key, data);
+        if tag.len() != computed.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in computed.iter().zip(tag) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hex(&HmacSha256::mac(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&HmacSha256::mac(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_long_data() {
+        let key = [0xaau8; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"m", &bad));
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..16]));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"key");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"key", b"hello world"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # prkb-crypto
+//!
+//! From-scratch cryptographic primitives backing the PRKB encrypted-database
+//! reproduction. No external crypto crates are used: every primitive in this
+//! crate is implemented from its specification and validated against
+//! published test vectors in the unit tests of its module.
+//!
+//! The EDBMS substrate (`prkb-edbms`) uses these primitives to
+//!
+//! * encrypt attribute values at the data owner ([`cipher::ValueCipher`]),
+//! * derive independent sub-keys per table/attribute ([`keys`], [`hkdf`]),
+//! * evaluate trapdoors inside the trusted machine (decrypt-and-compare),
+//!
+//! and the Logarithmic-SRC-i competitor (`prkb-srci`) uses the PRF
+//! ([`prf::Prf`]) to build searchable-encryption tokens.
+//!
+//! AES-128 ([`aes`]) is provided as an alternative cell-cipher suite for
+//! Cipherbase fidelity (its FPGA decrypts AES cells); select it via
+//! [`cipher::CipherSuite`].
+//!
+//! Security disclaimer: the implementations are correct against test vectors
+//! and constant-structure, but this crate exists to reproduce a systems
+//! paper, not to ship production cryptography (no side-channel hardening).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod chacha20;
+pub mod cipher;
+pub mod error;
+pub mod hkdf;
+pub mod hmac;
+pub mod keys;
+pub mod prf;
+pub mod sha256;
+pub mod siphash;
+
+pub use cipher::{Ciphertext, CipherSuite, DetCipher, ValueCipher};
+pub use error::CryptoError;
+pub use keys::{KeyPurpose, MasterKey, SubKey};
+pub use prf::Prf;

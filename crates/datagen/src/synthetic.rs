@@ -1,0 +1,153 @@
+//! The paper's synthetic datasets (§8.2.2).
+//!
+//! "In the synthetic datasets, the data domain of all attributes is set to
+//! be integers in `[1, 30M]`. The plain value on each attribute of each
+//! tuple is randomly generated" — uniform by default, with footnote 10's
+//! normal / correlated / anti-correlated variants also provided.
+
+use crate::dist::{standard_normal, Distribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lower bound of the paper's synthetic domain.
+pub const SYNTH_DOMAIN_MIN: u64 = 1;
+/// Upper bound of the paper's synthetic domain (30M).
+pub const SYNTH_DOMAIN_MAX: u64 = 30_000_000;
+
+/// How multi-attribute synthetic columns relate to each other
+/// (paper footnote 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnCorrelation {
+    /// Each column independent.
+    Independent,
+    /// Later columns track column 0 (plus Gaussian noise).
+    Correlated,
+    /// Later columns mirror column 0 across the domain (plus noise).
+    AntiCorrelated,
+}
+
+/// Generates one uniform synthetic column of `n` values over `[1, 30M]`.
+pub fn uniform_column(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = Distribution::Uniform {
+        lo: SYNTH_DOMAIN_MIN,
+        hi: SYNTH_DOMAIN_MAX,
+    };
+    d.sample_n(&mut rng, n)
+}
+
+/// Generates one column from an arbitrary distribution.
+pub fn column_from(dist: &Distribution, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    dist.sample_n(&mut rng, n)
+}
+
+/// Generates a `d`-attribute synthetic table over `[1, 30M]` (column-major).
+pub fn table(n: usize, d: usize, correlation: ColumnCorrelation, seed: u64) -> Vec<Vec<u64>> {
+    assert!(d >= 1, "need at least one attribute");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = (SYNTH_DOMAIN_MAX - SYNTH_DOMAIN_MIN) as f64;
+    let noise_std = span * 0.02;
+
+    let base: Vec<u64> = (0..n)
+        .map(|_| rng.gen_range(SYNTH_DOMAIN_MIN..=SYNTH_DOMAIN_MAX))
+        .collect();
+
+    let mut columns = Vec::with_capacity(d);
+    columns.push(base);
+    for _ in 1..d {
+        let col: Vec<u64> = match correlation {
+            ColumnCorrelation::Independent => (0..n)
+                .map(|_| rng.gen_range(SYNTH_DOMAIN_MIN..=SYNTH_DOMAIN_MAX))
+                .collect(),
+            ColumnCorrelation::Correlated => columns[0]
+                .iter()
+                .map(|&v| jitter(v, noise_std, &mut rng))
+                .collect(),
+            ColumnCorrelation::AntiCorrelated => columns[0]
+                .iter()
+                .map(|&v| {
+                    let mirrored = SYNTH_DOMAIN_MAX - (v - SYNTH_DOMAIN_MIN);
+                    jitter(mirrored, noise_std, &mut rng)
+                })
+                .collect(),
+        };
+        columns.push(col);
+    }
+    columns
+}
+
+fn jitter<R: Rng>(v: u64, std: f64, rng: &mut R) -> u64 {
+    let x = v as f64 + std * standard_normal(rng);
+    if x <= SYNTH_DOMAIN_MIN as f64 {
+        SYNTH_DOMAIN_MIN
+    } else if x >= SYNTH_DOMAIN_MAX as f64 {
+        SYNTH_DOMAIN_MAX
+    } else {
+        x.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(a: &[u64], b: &[u64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<u64>() as f64 / n;
+        let mb = b.iter().sum::<u64>() as f64 / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            let dx = x as f64 - ma;
+            let dy = y as f64 - mb;
+            cov += dx * dy;
+            va += dx * dx;
+            vb += dy * dy;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn uniform_column_in_domain_and_deterministic() {
+        let c1 = uniform_column(1000, 5);
+        let c2 = uniform_column(1000, 5);
+        assert_eq!(c1, c2, "same seed, same data");
+        assert!(c1
+            .iter()
+            .all(|&v| (SYNTH_DOMAIN_MIN..=SYNTH_DOMAIN_MAX).contains(&v)));
+        let c3 = uniform_column(1000, 6);
+        assert_ne!(c1, c3, "different seed, different data");
+    }
+
+    #[test]
+    fn correlated_columns_track_base() {
+        let cols = table(5000, 2, ColumnCorrelation::Correlated, 1);
+        let r = pearson(&cols[0], &cols[1]);
+        assert!(r > 0.95, "correlation {r}");
+    }
+
+    #[test]
+    fn anti_correlated_columns_oppose_base() {
+        let cols = table(5000, 2, ColumnCorrelation::AntiCorrelated, 1);
+        let r = pearson(&cols[0], &cols[1]);
+        assert!(r < -0.95, "correlation {r}");
+    }
+
+    #[test]
+    fn independent_columns_uncorrelated() {
+        let cols = table(5000, 3, ColumnCorrelation::Independent, 1);
+        let r01 = pearson(&cols[0], &cols[1]);
+        let r12 = pearson(&cols[1], &cols[2]);
+        assert!(r01.abs() < 0.05, "correlation {r01}");
+        assert!(r12.abs() < 0.05, "correlation {r12}");
+    }
+
+    #[test]
+    fn table_shape() {
+        let cols = table(10, 4, ColumnCorrelation::Independent, 2);
+        assert_eq!(cols.len(), 4);
+        assert!(cols.iter().all(|c| c.len() == 10));
+    }
+}

@@ -1,0 +1,203 @@
+//! Query workload generation.
+//!
+//! The paper's experiments drive three kinds of query streams:
+//!
+//! * single comparison predicates with random cuts (PRKB growth, §8.2.3);
+//! * range queries `lb < X < ub` with a target *selectivity* (§8.2.4);
+//! * multi-dimensional hyper-rectangles with per-dimension selectivity
+//!   (§8.2.5, §8.2.6).
+//!
+//! Selectivity is defined over the data (fraction of tuples selected), so
+//! the generator works off a sorted copy of the column — exactly what the
+//! data owner, who knows the plaintext, would do.
+
+use rand::Rng;
+
+/// Which side of a random comparison cut is selected (the generator's
+/// plaintext-side description; the EDBMS layer turns it into a trapdoor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutSide {
+    /// `X < cut`
+    Below,
+    /// `X > cut`
+    Above,
+}
+
+/// A selectivity-targeted range in plaintext: `lo < X < hi` (exclusive
+/// bounds, matching the paper's query form `lb < X < ub`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlainRange {
+    /// Exclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound.
+    pub hi: u64,
+}
+
+/// Workload generator for one attribute.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    sorted: Vec<u64>,
+    domain: (u64, u64),
+}
+
+impl WorkloadGen {
+    /// Builds a generator from the attribute's values and its domain bounds.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn new(values: &[u64], domain: (u64, u64)) -> Self {
+        assert!(!values.is_empty(), "workload needs data");
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        WorkloadGen { sorted, domain }
+    }
+
+    /// Number of underlying tuples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the generator holds no values (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// A uniformly random comparison cut over the *domain* (the attacker
+    /// model of §8.1 and the growth experiment of §8.2.3).
+    pub fn random_cut<R: Rng>(&self, rng: &mut R) -> (CutSide, u64) {
+        let side = if rng.gen::<bool>() {
+            CutSide::Below
+        } else {
+            CutSide::Above
+        };
+        (side, rng.gen_range(self.domain.0..=self.domain.1))
+    }
+
+    /// A range with (approximately) the requested selectivity: picks a
+    /// random start rank and spans `selectivity * n` tuples.
+    ///
+    /// Returned bounds are *exclusive* (`lo < X < hi`), chosen just outside
+    /// the covered values, so the realised selectivity matches the target up
+    /// to duplicate-value granularity.
+    ///
+    /// # Panics
+    /// Panics if `selectivity` is not in `(0, 1]`.
+    pub fn range_with_selectivity<R: Rng>(&self, selectivity: f64, rng: &mut R) -> PlainRange {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1], got {selectivity}"
+        );
+        let n = self.sorted.len();
+        let span = ((n as f64 * selectivity).round() as usize).clamp(1, n);
+        let start = if span >= n {
+            0
+        } else {
+            rng.gen_range(0..=(n - span))
+        };
+        let end = start + span - 1;
+        let lo = if start == 0 {
+            self.domain.0.saturating_sub(1)
+        } else {
+            // Largest value strictly below the covered block.
+            self.sorted[start - 1].max(self.sorted[start].saturating_sub(1))
+        };
+        let hi = if end + 1 >= n {
+            self.domain.1.saturating_add(1)
+        } else {
+            self.sorted[end + 1].min(self.sorted[end].saturating_add(1))
+        };
+        PlainRange { lo, hi }
+    }
+
+    /// Realised selectivity of an exclusive range over this data.
+    pub fn selectivity_of(&self, range: PlainRange) -> f64 {
+        let lo_idx = self.sorted.partition_point(|&v| v <= range.lo);
+        let hi_idx = self.sorted.partition_point(|&v| v < range.hi);
+        (hi_idx.saturating_sub(lo_idx)) as f64 / self.sorted.len() as f64
+    }
+
+    /// The domain this generator draws cuts from.
+    pub fn domain(&self) -> (u64, u64) {
+        self.domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen_uniform(n: usize) -> WorkloadGen {
+        let mut rng = StdRng::seed_from_u64(3);
+        let vals: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=1_000_000)).collect();
+        WorkloadGen::new(&vals, (1, 1_000_000))
+    }
+
+    #[test]
+    fn selectivity_is_respected() {
+        let g = gen_uniform(100_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        for target in [0.01, 0.02, 0.05, 0.10] {
+            let mut total = 0.0;
+            for _ in 0..20 {
+                let r = g.range_with_selectivity(target, &mut rng);
+                let got = g.selectivity_of(r);
+                assert!(
+                    (got - target).abs() < target * 0.2 + 0.001,
+                    "target {target}, got {got}"
+                );
+                total += got;
+            }
+            let avg = total / 20.0;
+            assert!((avg - target).abs() < target * 0.1 + 0.0005, "avg {avg}");
+        }
+    }
+
+    #[test]
+    fn full_selectivity_covers_everything() {
+        let g = gen_uniform(1000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = g.range_with_selectivity(1.0, &mut rng);
+        assert_eq!(g.selectivity_of(r), 1.0);
+    }
+
+    #[test]
+    fn random_cut_within_domain() {
+        let g = gen_uniform(100);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut below = 0;
+        for _ in 0..1000 {
+            let (side, cut) = g.random_cut(&mut rng);
+            assert!((1..=1_000_000).contains(&cut));
+            if side == CutSide::Below {
+                below += 1;
+            }
+        }
+        assert!((300..700).contains(&below), "side balance {below}");
+    }
+
+    #[test]
+    fn duplicate_heavy_data_does_not_break_bounds() {
+        // All values equal: any range either catches all or none.
+        let g = WorkloadGen::new(&[5; 100], (1, 10));
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = g.range_with_selectivity(0.1, &mut rng);
+        let got = g.selectivity_of(r);
+        assert!(got == 0.0 || got == 1.0, "got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn zero_selectivity_rejected() {
+        let g = gen_uniform(10);
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = g.range_with_selectivity(0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload needs data")]
+    fn empty_data_rejected() {
+        let _ = WorkloadGen::new(&[], (0, 1));
+    }
+}

@@ -1,0 +1,123 @@
+//! The selection oracle — the interface between the PRKB engine and the
+//! underlying EDBMS.
+//!
+//! PRKB (the service provider's reasoning layer) never touches plaintext or
+//! ciphertext: all it can do is ask "does tuple `t` satisfy trapdoor `p`?"
+//! and observe the answer. That is exactly [`SelectionOracle::eval`]. The
+//! QPF-use counter exposed alongside is the paper's primary cost metric.
+
+use crate::encrypted::EncryptedTable;
+use crate::schema::TupleId;
+use crate::trapdoor::{EncryptedPredicate, PredicateKind};
+use crate::trusted::TrustedMachine;
+
+/// The Θ oracle of the paper's QPF model, plus the bookkeeping the
+/// service provider legitimately has (table size, liveness, cost counter).
+pub trait SelectionOracle {
+    /// The encrypted-predicate (trapdoor) type.
+    type Pred: Clone;
+
+    /// Evaluates Θ(`pred`, tuple `t`). Every call costs one QPF use.
+    fn eval(&self, pred: &Self::Pred, t: TupleId) -> bool;
+
+    /// SP-visible shape of the trapdoor (comparison vs BETWEEN).
+    fn kind_of(&self, pred: &Self::Pred) -> PredicateKind;
+
+    /// Number of tuple slots, including tombstones.
+    fn n_slots(&self) -> usize;
+
+    /// Whether tuple `t` is live (not deleted).
+    fn is_live(&self, t: TupleId) -> bool;
+
+    /// Monotonic QPF-use counter.
+    fn qpf_uses(&self) -> u64;
+}
+
+/// The real oracle: encrypted table + trusted machine.
+///
+/// # Panics
+/// [`SelectionOracle::eval`] panics on storage corruption (bad cell bytes or
+/// a trapdoor for the wrong table): in this substrate those are programming
+/// errors, not runtime conditions — the real system would fail the query.
+#[derive(Debug, Clone, Copy)]
+pub struct SpOracle<'a> {
+    table: &'a EncryptedTable,
+    tm: &'a TrustedMachine,
+}
+
+impl<'a> SpOracle<'a> {
+    /// Pairs an encrypted table with the trusted machine that can evaluate
+    /// trapdoors over it.
+    pub fn new(table: &'a EncryptedTable, tm: &'a TrustedMachine) -> Self {
+        SpOracle { table, tm }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'a EncryptedTable {
+        self.table
+    }
+
+    /// The underlying trusted machine.
+    pub fn tm(&self) -> &'a TrustedMachine {
+        self.tm
+    }
+}
+
+impl SelectionOracle for SpOracle<'_> {
+    type Pred = EncryptedPredicate;
+
+    fn eval(&self, pred: &EncryptedPredicate, t: TupleId) -> bool {
+        let cell = self
+            .table
+            .cell(pred.attr(), t)
+            .expect("tuple id within table bounds");
+        self.tm.qpf(pred, cell).expect("well-formed cell and trapdoor")
+    }
+
+    fn kind_of(&self, pred: &EncryptedPredicate) -> PredicateKind {
+        pred.kind()
+    }
+
+    fn n_slots(&self) -> usize {
+        self.table.len()
+    }
+
+    fn is_live(&self, t: TupleId) -> bool {
+        self.table.is_live(t)
+    }
+
+    fn qpf_uses(&self) -> u64 {
+        self.tm.qpf_uses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::DataOwner;
+    use crate::predicate::{ComparisonOp, Predicate};
+    use crate::table::PlainTable;
+    use crate::trusted::TmConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sp_oracle_evaluates_and_counts() {
+        let owner = DataOwner::with_seed(7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let plain = PlainTable::single_column("t", "x", vec![1, 5, 9]);
+        let enc = owner.encrypt_table(&plain, &mut rng);
+        let tm = owner.trusted_machine(TmConfig::default());
+        let oracle = SpOracle::new(&enc, &tm);
+        let p = owner
+            .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Ge, 5), &mut rng)
+            .unwrap();
+        assert_eq!(oracle.kind_of(&p), PredicateKind::Comparison);
+        assert_eq!(oracle.n_slots(), 3);
+        assert!(oracle.is_live(2));
+        assert!(!oracle.eval(&p, 0));
+        assert!(oracle.eval(&p, 1));
+        assert!(oracle.eval(&p, 2));
+        assert_eq!(oracle.qpf_uses(), 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! The data owner (DO).
+//!
+//! Holds the master key, encrypts tables before upload, issues trapdoors for
+//! queries, and provisions the trusted machine. Per the paper, the data
+//! owner is **never** involved in building or using PRKB — this type's API
+//! surface is exactly the owner's role in a PRKB-less EDBMS.
+
+use crate::encrypted::EncryptedTable;
+use crate::error::EdbmsError;
+use crate::predicate::Predicate;
+use crate::schema::AttrId;
+use crate::table::PlainTable;
+use crate::trapdoor::{EncryptedPredicate, PredicateKind};
+use crate::trusted::{TmConfig, TrustedMachine};
+use prkb_crypto::{CipherSuite, KeyPurpose, MasterKey, ValueCipher};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The data owner: key custody, encryption, trapdoor generation.
+pub struct DataOwner {
+    master: MasterKey,
+    suite: CipherSuite,
+    next_trapdoor_id: AtomicU64,
+}
+
+impl DataOwner {
+    /// Creates an owner with an explicit master key (ChaCha20 suite).
+    pub fn new(master: MasterKey) -> Self {
+        DataOwner {
+            master,
+            suite: CipherSuite::default(),
+            next_trapdoor_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Switches the cell-cipher suite (builder style). All tables and
+    /// trapdoors issued by this owner — and the trusted machines it
+    /// provisions — use the chosen suite.
+    pub fn with_cipher_suite(mut self, suite: CipherSuite) -> Self {
+        self.suite = suite;
+        self
+    }
+
+    /// Creates an owner with a master key derived from `seed`
+    /// (reproducible experiments).
+    pub fn with_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::new(MasterKey::generate(&mut rng))
+    }
+
+    /// Encrypts a plaintext table for upload to the service provider.
+    pub fn encrypt_table<R: RngCore>(&self, plain: &PlainTable, rng: &mut R) -> EncryptedTable {
+        let schema = plain.schema().clone();
+        let n = plain.len();
+        let mut enc = EncryptedTable::with_capacity(schema.clone(), n);
+        enc.bulk_load(|columns| {
+            for (attr, col) in columns.iter_mut().enumerate() {
+                let cipher = self.value_cipher(schema.table(), attr as AttrId);
+                let values = plain
+                    .column(attr as AttrId)
+                    .expect("column count matches schema");
+                let buf = col.raw_mut();
+                for &v in values {
+                    cipher.encrypt_into(rng, v, buf);
+                }
+            }
+            n
+        });
+        enc
+    }
+
+    /// Encrypts a single row (for INSERT statements). Returns one
+    /// fixed-width ciphertext cell per attribute, in schema order.
+    pub fn encrypt_row<R: RngCore>(
+        &self,
+        table: &str,
+        row: &[u64],
+        rng: &mut R,
+    ) -> Vec<Vec<u8>> {
+        row.iter()
+            .enumerate()
+            .map(|(attr, &v)| {
+                let cipher = self.value_cipher(table, attr as AttrId);
+                let mut buf = Vec::new();
+                cipher.encrypt_into(rng, v, &mut buf);
+                buf
+            })
+            .collect()
+    }
+
+    /// Issues a trapdoor for `pred` against `table`.
+    ///
+    /// # Errors
+    /// Returns [`EdbmsError::EmptyRange`] for a BETWEEN with `lo > hi`.
+    pub fn trapdoor<R: RngCore>(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        rng: &mut R,
+    ) -> Result<EncryptedPredicate, EdbmsError> {
+        let attr = pred.attr();
+        let cipher = self.trapdoor_cipher(table, attr);
+        let (kind, words) = match *pred {
+            Predicate::Comparison { op, bound, .. } => {
+                (PredicateKind::Comparison, [op.code(), bound])
+            }
+            Predicate::Between { lo, hi, .. } => {
+                if lo > hi {
+                    return Err(EdbmsError::EmptyRange { lo, hi });
+                }
+                (PredicateKind::Between, [lo, hi])
+            }
+        };
+        let mut payload = Vec::new();
+        for w in words {
+            cipher.encrypt_into(rng, w, &mut payload);
+        }
+        let id = self.next_trapdoor_id.fetch_add(1, Ordering::Relaxed);
+        Ok(EncryptedPredicate::assemble(
+            id,
+            table.to_string(),
+            attr,
+            kind,
+            payload,
+        ))
+    }
+
+    /// Provisions a trusted machine sharing this owner's keys (the paper's
+    /// deployment: DO installs its key in the enclave at SP's site).
+    pub fn trusted_machine(&self, cfg: TmConfig) -> TrustedMachine {
+        TrustedMachine::new(
+            self.master.clone(),
+            TmConfig {
+                suite: self.suite,
+                ..cfg
+            },
+        )
+    }
+
+    /// Derives the searchable-encryption key pair for (`table`, `attr`) —
+    /// consumed by index structures (e.g. Logarithmic-SRC-i) that the
+    /// trusted machine builds on the owner's behalf.
+    pub fn search_keys(&self, table: &str, attr: AttrId) -> ([u8; 32], [u8; 32]) {
+        (
+            *self
+                .master
+                .derive(KeyPurpose::SearchToken, table, attr)
+                .as_bytes(),
+            *self
+                .master
+                .derive(KeyPurpose::SearchPayload, table, attr)
+                .as_bytes(),
+        )
+    }
+
+    fn value_cipher(&self, table: &str, attr: AttrId) -> ValueCipher {
+        ValueCipher::with_suite(
+            self.master.derive(KeyPurpose::ValueEncryption, table, attr),
+            self.suite,
+        )
+    }
+
+    fn trapdoor_cipher(&self, table: &str, attr: AttrId) -> ValueCipher {
+        ValueCipher::with_suite(
+            self.master.derive(KeyPurpose::TrapdoorEncryption, table, attr),
+            self.suite,
+        )
+    }
+}
+
+impl std::fmt::Debug for DataOwner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataOwner").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::ComparisonOp;
+    use crate::schema::Schema;
+
+    #[test]
+    fn encrypt_table_roundtrips_through_tm() {
+        let owner = DataOwner::with_seed(42);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut plain = PlainTable::new(Schema::new("t", &["x", "y"]));
+        plain.push_row(&[10, 100]).unwrap();
+        plain.push_row(&[20, 200]).unwrap();
+        let enc = owner.encrypt_table(&plain, &mut rng);
+        assert_eq!(enc.len(), 2);
+        let tm = owner.trusted_machine(TmConfig::default());
+        assert_eq!(tm.decrypt_cell("t", 0, enc.cell(0, 0).unwrap()).unwrap(), 10);
+        assert_eq!(tm.decrypt_cell("t", 1, enc.cell(1, 1).unwrap()).unwrap(), 200);
+    }
+
+    #[test]
+    fn encrypt_row_matches_table_encryption_keys() {
+        let owner = DataOwner::with_seed(43);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cells = owner.encrypt_row("t", &[7, 8], &mut rng);
+        let tm = owner.trusted_machine(TmConfig::default());
+        assert_eq!(tm.decrypt_cell("t", 0, &cells[0]).unwrap(), 7);
+        assert_eq!(tm.decrypt_cell("t", 1, &cells[1]).unwrap(), 8);
+    }
+
+    #[test]
+    fn trapdoor_ids_are_unique() {
+        let owner = DataOwner::with_seed(44);
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Predicate::cmp(0, ComparisonOp::Lt, 5);
+        let t1 = owner.trapdoor("t", &p, &mut rng).unwrap();
+        let t2 = owner.trapdoor("t", &p, &mut rng).unwrap();
+        assert_ne!(t1.id(), t2.id());
+        // Randomized payload: identical predicates are unlinkable.
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn aes_suite_end_to_end() {
+        // Cipherbase fidelity: AES-128-CTR cells decrypt-and-compare inside
+        // the TM exactly like the default suite.
+        let owner = DataOwner::with_seed(46).with_cipher_suite(CipherSuite::Aes128Ctr);
+        let mut rng = StdRng::seed_from_u64(0);
+        let plain = PlainTable::single_column("t", "x", vec![5, 10, 15]);
+        let enc = owner.encrypt_table(&plain, &mut rng);
+        let tm = owner.trusted_machine(TmConfig::default());
+        let p = owner
+            .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, 12), &mut rng)
+            .unwrap();
+        assert!(tm.qpf(&p, enc.cell(0, 0).unwrap()).unwrap());
+        assert!(!tm.qpf(&p, enc.cell(0, 2).unwrap()).unwrap());
+
+        // A ChaCha20 TM provisioned from a same-key owner must fail closed
+        // on AES cells (suite-binding tag).
+        let chacha_owner = DataOwner::with_seed(46);
+        let wrong_tm = chacha_owner.trusted_machine(TmConfig::default());
+        assert!(wrong_tm.qpf(&p, enc.cell(0, 0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn empty_between_rejected() {
+        let owner = DataOwner::with_seed(45);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            owner.trapdoor("t", &Predicate::between(0, 9, 3), &mut rng),
+            Err(EdbmsError::EmptyRange { .. })
+        ));
+    }
+}

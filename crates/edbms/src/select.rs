@@ -1,0 +1,81 @@
+//! Baseline selection executors (no PRKB).
+//!
+//! These are the paper's "Baseline": apply the QPF to every live tuple, one
+//! by one. For conjunctions (multi-dimensional range queries processed as 2d
+//! comparison trapdoors) the scan short-circuits per tuple as soon as one
+//! predicate fails — the paper's footnote 5 behaviour, so the measured QPF
+//! count matches "up to 2dn".
+
+use crate::oracle::SelectionOracle;
+use crate::schema::TupleId;
+
+/// Linear scan: evaluates `pred` on every live tuple.
+pub fn linear_scan<O: SelectionOracle>(oracle: &O, pred: &O::Pred) -> Vec<TupleId> {
+    let mut out = Vec::new();
+    for t in 0..oracle.n_slots() as TupleId {
+        if oracle.is_live(t) && oracle.eval(pred, t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Conjunctive linear scan with per-tuple short-circuit: a tuple is in the
+/// result iff it satisfies *all* predicates; evaluation of a tuple stops at
+/// the first failing predicate.
+pub fn conjunctive_scan<O: SelectionOracle>(oracle: &O, preds: &[O::Pred]) -> Vec<TupleId> {
+    let mut out = Vec::new();
+    'tuples: for t in 0..oracle.n_slots() as TupleId {
+        if !oracle.is_live(t) {
+            continue;
+        }
+        for p in preds {
+            if !oracle.eval(p, t) {
+                continue 'tuples;
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ComparisonOp, Predicate};
+    use crate::testing::PlainOracle;
+
+    #[test]
+    fn linear_scan_selects_exactly() {
+        let oracle = PlainOracle::single_column(vec![1, 5, 9, 3]);
+        let p = Predicate::cmp(0, ComparisonOp::Lt, 5);
+        assert_eq!(linear_scan(&oracle, &p), vec![0, 3]);
+        assert_eq!(oracle.qpf_uses(), 4);
+    }
+
+    #[test]
+    fn linear_scan_skips_tombstones() {
+        let mut oracle = PlainOracle::single_column(vec![1, 5, 9, 3]);
+        oracle.delete(0);
+        let p = Predicate::cmp(0, ComparisonOp::Lt, 5);
+        assert_eq!(linear_scan(&oracle, &p), vec![3]);
+        assert_eq!(oracle.qpf_uses(), 3, "no QPF spent on tombstones");
+    }
+
+    #[test]
+    fn conjunctive_scan_short_circuits() {
+        let oracle = PlainOracle::from_columns(vec![vec![1, 5, 9], vec![10, 20, 30]]);
+        let p1 = Predicate::cmp(0, ComparisonOp::Gt, 4); // fails for t0
+        let p2 = Predicate::cmp(1, ComparisonOp::Lt, 25); // fails for t2
+        assert_eq!(conjunctive_scan(&oracle, &[p1, p2]), vec![1]);
+        // t0: 1 use (fails p1); t1: 2 uses; t2: 2 uses (fails p2) = 5.
+        assert_eq!(oracle.qpf_uses(), 5);
+    }
+
+    #[test]
+    fn empty_predicate_list_selects_all_live() {
+        let oracle = PlainOracle::single_column(vec![1, 2]);
+        assert_eq!(conjunctive_scan(&oracle, &[]), vec![0, 1]);
+        assert_eq!(oracle.qpf_uses(), 0);
+    }
+}

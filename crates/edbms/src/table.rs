@@ -1,0 +1,160 @@
+//! Plaintext tables as they exist at the data owner before encryption.
+
+use crate::error::EdbmsError;
+use crate::schema::{AttrId, Schema, TupleId};
+
+/// A plaintext relational table (column-major storage).
+///
+/// Lives only at the data owner: the service provider never sees one.
+/// Column-major layout keeps bulk encryption and the plaintext test oracle
+/// cache friendly.
+#[derive(Debug, Clone)]
+pub struct PlainTable {
+    schema: Schema,
+    columns: Vec<Vec<u64>>,
+}
+
+impl PlainTable {
+    /// Creates an empty table for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        PlainTable { schema, columns }
+    }
+
+    /// Creates a table directly from columns.
+    ///
+    /// # Errors
+    /// Returns [`EdbmsError::ArityMismatch`] if the number of columns does
+    /// not match the schema, and treats ragged columns as an arity error.
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<u64>>) -> Result<Self, EdbmsError> {
+        if columns.len() != schema.arity() {
+            return Err(EdbmsError::ArityMismatch {
+                expected: schema.arity(),
+                actual: columns.len(),
+            });
+        }
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            if columns.iter().any(|c| c.len() != n) {
+                return Err(EdbmsError::ArityMismatch {
+                    expected: n,
+                    actual: columns.iter().map(Vec::len).max().unwrap_or(0),
+                });
+            }
+        }
+        Ok(PlainTable { schema, columns })
+    }
+
+    /// Convenience constructor for a single-attribute table.
+    pub fn single_column(table: &str, attr: &str, values: Vec<u64>) -> Self {
+        let schema = Schema::new(table, &[attr]);
+        PlainTable {
+            schema,
+            columns: vec![values],
+        }
+    }
+
+    /// Appends a row; returns its [`TupleId`].
+    ///
+    /// # Errors
+    /// Returns [`EdbmsError::ArityMismatch`] on a wrong-width row.
+    pub fn push_row(&mut self, row: &[u64]) -> Result<TupleId, EdbmsError> {
+        if row.len() != self.schema.arity() {
+            return Err(EdbmsError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: row.len(),
+            });
+        }
+        let id = self.len() as TupleId;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(*v);
+        }
+        Ok(id)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value of attribute `attr` in tuple `t`.
+    ///
+    /// # Errors
+    /// Returns an out-of-range error for bad ids.
+    pub fn value(&self, attr: AttrId, t: TupleId) -> Result<u64, EdbmsError> {
+        let col = self
+            .columns
+            .get(attr as usize)
+            .ok_or(EdbmsError::AttrOutOfRange {
+                attr,
+                n_attrs: self.schema.arity(),
+            })?;
+        col.get(t as usize).copied().ok_or(EdbmsError::TupleOutOfRange {
+            tuple: t,
+            len: self.len(),
+        })
+    }
+
+    /// Borrow a whole column.
+    ///
+    /// # Errors
+    /// Returns [`EdbmsError::AttrOutOfRange`] for a bad attribute id.
+    pub fn column(&self, attr: AttrId) -> Result<&[u64], EdbmsError> {
+        self.columns
+            .get(attr as usize)
+            .map(Vec::as_slice)
+            .ok_or(EdbmsError::AttrOutOfRange {
+                attr,
+                n_attrs: self.schema.arity(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let mut t = PlainTable::new(Schema::new("t", &["x", "y"]));
+        assert!(t.is_empty());
+        assert_eq!(t.push_row(&[1, 10]).unwrap(), 0);
+        assert_eq!(t.push_row(&[2, 20]).unwrap(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(0, 1).unwrap(), 2);
+        assert_eq!(t.value(1, 0).unwrap(), 10);
+        assert_eq!(t.column(1).unwrap(), &[10, 20]);
+        assert!(matches!(t.value(2, 0), Err(EdbmsError::AttrOutOfRange { .. })));
+        assert!(matches!(t.value(0, 9), Err(EdbmsError::TupleOutOfRange { .. })));
+        assert!(matches!(
+            t.push_row(&[1]),
+            Err(EdbmsError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        let s = Schema::new("t", &["x", "y"]);
+        assert!(PlainTable::from_columns(s.clone(), vec![vec![1], vec![2]]).is_ok());
+        assert!(PlainTable::from_columns(s.clone(), vec![vec![1]]).is_err());
+        assert!(PlainTable::from_columns(s, vec![vec![1], vec![2, 3]]).is_err());
+    }
+
+    #[test]
+    fn single_column_helper() {
+        let t = PlainTable::single_column("t", "x", vec![5, 6, 7]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema().arity(), 1);
+        assert_eq!(t.value(0, 2).unwrap(), 7);
+    }
+}

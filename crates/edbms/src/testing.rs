@@ -1,0 +1,167 @@
+//! Plaintext test oracle.
+//!
+//! [`PlainOracle`] implements [`SelectionOracle`] over plaintext columns with
+//! the *same counting semantics* as the real encrypted pipeline: one counter
+//! tick per Θ evaluation. It lets the PRKB engine's logic be tested (and
+//! property-tested) at scales where running real decryption for every Θ call
+//! would drown the suite, and provides the ground-truth `expected_*` helpers
+//! the integration tests compare against.
+
+use crate::oracle::SelectionOracle;
+use crate::predicate::Predicate;
+use crate::schema::TupleId;
+use crate::trapdoor::PredicateKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A plaintext stand-in for (encrypted table + trusted machine).
+#[derive(Debug)]
+pub struct PlainOracle {
+    columns: Vec<Vec<u64>>,
+    live: Vec<bool>,
+    uses: AtomicU64,
+}
+
+impl PlainOracle {
+    /// Builds an oracle over one column.
+    pub fn single_column(values: Vec<u64>) -> Self {
+        let n = values.len();
+        PlainOracle {
+            columns: vec![values],
+            live: vec![true; n],
+            uses: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds an oracle over several equal-length columns.
+    ///
+    /// # Panics
+    /// Panics on ragged columns.
+    pub fn from_columns(columns: Vec<Vec<u64>>) -> Self {
+        let n = columns.first().map_or(0, Vec::len);
+        assert!(columns.iter().all(|c| c.len() == n), "ragged columns");
+        PlainOracle {
+            columns,
+            live: vec![true; n],
+            uses: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a row, returning its id.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, row: &[u64]) -> TupleId {
+        assert_eq!(row.len(), self.columns.len(), "arity");
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(*v);
+        }
+        self.live.push(true);
+        (self.live.len() - 1) as TupleId
+    }
+
+    /// Tombstones a tuple.
+    pub fn delete(&mut self, t: TupleId) {
+        self.live[t as usize] = false;
+    }
+
+    /// Ground truth: ids of live tuples satisfying `pred`, **without**
+    /// touching the QPF counter.
+    pub fn expected_select(&self, pred: &Predicate) -> Vec<TupleId> {
+        let col = &self.columns[pred.attr() as usize];
+        (0..self.live.len())
+            .filter(|&i| self.live[i] && pred.eval(col[i]))
+            .map(|i| i as TupleId)
+            .collect()
+    }
+
+    /// Ground truth for a conjunction, without counting.
+    pub fn expected_conjunction(&self, preds: &[Predicate]) -> Vec<TupleId> {
+        (0..self.live.len())
+            .filter(|&i| {
+                self.live[i]
+                    && preds
+                        .iter()
+                        .all(|p| p.eval(self.columns[p.attr() as usize][i]))
+            })
+            .map(|i| i as TupleId)
+            .collect()
+    }
+
+    /// Plain value of (`attr`, `t`) — for assertions only.
+    pub fn value(&self, attr: u32, t: TupleId) -> u64 {
+        self.columns[attr as usize][t as usize]
+    }
+
+    /// Resets the QPF counter (between measurement spans in tests).
+    pub fn reset_uses(&self) {
+        self.uses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl SelectionOracle for PlainOracle {
+    type Pred = Predicate;
+
+    fn eval(&self, pred: &Predicate, t: TupleId) -> bool {
+        self.uses.fetch_add(1, Ordering::Relaxed);
+        pred.eval(self.columns[pred.attr() as usize][t as usize])
+    }
+
+    fn kind_of(&self, pred: &Predicate) -> PredicateKind {
+        match pred {
+            Predicate::Comparison { .. } => PredicateKind::Comparison,
+            Predicate::Between { .. } => PredicateKind::Between,
+        }
+    }
+
+    fn n_slots(&self) -> usize {
+        self.live.len()
+    }
+
+    fn is_live(&self, t: TupleId) -> bool {
+        self.live.get(t as usize).copied().unwrap_or(false)
+    }
+
+    fn qpf_uses(&self) -> u64 {
+        self.uses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::ComparisonOp;
+
+    #[test]
+    fn counting_and_ground_truth() {
+        let o = PlainOracle::single_column(vec![2, 4, 6]);
+        let p = Predicate::cmp(0, ComparisonOp::Gt, 3);
+        assert_eq!(o.expected_select(&p), vec![1, 2]);
+        assert_eq!(o.qpf_uses(), 0, "ground truth is free");
+        assert!(o.eval(&p, 1));
+        assert_eq!(o.qpf_uses(), 1);
+        o.reset_uses();
+        assert_eq!(o.qpf_uses(), 0);
+    }
+
+    #[test]
+    fn insert_delete() {
+        let mut o = PlainOracle::single_column(vec![1]);
+        let id = o.insert(&[9]);
+        assert_eq!(id, 1);
+        assert_eq!(o.value(0, 1), 9);
+        o.delete(0);
+        assert!(!o.is_live(0));
+        let p = Predicate::cmp(0, ComparisonOp::Gt, 0);
+        assert_eq!(o.expected_select(&p), vec![1]);
+    }
+
+    #[test]
+    fn conjunction_ground_truth() {
+        let o = PlainOracle::from_columns(vec![vec![1, 5], vec![9, 2]]);
+        let preds = [
+            Predicate::cmp(0, ComparisonOp::Gt, 2),
+            Predicate::cmp(1, ComparisonOp::Lt, 5),
+        ];
+        assert_eq!(o.expected_conjunction(&preds), vec![1]);
+    }
+}

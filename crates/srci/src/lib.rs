@@ -1,0 +1,33 @@
+//! # prkb-srci — Logarithmic-SRC-i
+//!
+//! A from-scratch implementation of **Logarithmic-SRC-i** from
+//! *"Practical Private Range Search Revisited"* (Demertzis, Papadopoulos,
+//! Papapetrou, Deligiannakis & Garofalakis — SIGMOD 2016): the
+//! state-of-the-art encrypted range-search index the PRKB paper benchmarks
+//! against in its §8 evaluation.
+//!
+//! Structure:
+//!
+//! * [`tdag`] — the augmented dyadic tree with *middle* nodes, giving every
+//!   range a **S**ingle **R**ange **C**over node;
+//! * [`emm`] — a PRF-token encrypted multimap (the SSE substrate);
+//! * [`index`] — the two-level index: domain-TDAG → rank range,
+//!   rank-TDAG → encrypted tuple ids (log-factor storage replication);
+//! * [`multidim`] — per-dimension querying with candidate intersection.
+//!
+//! Deployment model follows the PRKB paper's §8.2.1 adaptation: a
+//! Cipherbase-style trusted machine builds and maintains the index and
+//! confirms false positives on behalf of the data owner, with each
+//! confirmation accounted exactly like a QPF use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emm;
+pub mod index;
+pub mod multidim;
+pub mod tdag;
+
+pub use index::{confirm, SrciClient, SrciConfig, SrciIndex};
+pub use multidim::MultiDimSrci;
+pub use tdag::{Node, Tdag};

@@ -1,0 +1,78 @@
+//! Security audit (paper §3.3 / §8.1): how much ordering information does a
+//! compromised service provider recover from watching selection results —
+//! and why large domains make the EDBMS model practical.
+//!
+//! Run with: `cargo run --example security_audit --release`
+
+use prkb::analysis::{ope_rpoi, rpoi_for_queries};
+use prkb::datagen::realsim;
+
+fn main() {
+    let checkpoints = [250usize, 1_000, 10_000, 100_000];
+
+    println!("attacker model: compromised SP observes every selection result");
+    println!("metric: RPOI = recovered partial-order chain / total order length\n");
+
+    let victims: [(&str, Vec<u64>, (u64, u64)); 3] = [
+        (
+            "hospital charges",
+            realsim::hospital_charges(300_000, 1),
+            (2_500, 3_000_000_000),
+        ),
+        (
+            "salaries",
+            realsim::labor_salaries(300_000, 1),
+            (15_000, 5_000_000),
+        ),
+        (
+            "latitude",
+            realsim::us_buildings(300_000, 1).0,
+            (0, 25 * realsim::COORD_SCALE),
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "victim", "q=250", "q=1k", "q=10k", "q=100k"
+    );
+    for (name, values, domain) in &victims {
+        let curve = rpoi_for_queries(values, *domain, &checkpoints, 9);
+        println!(
+            "{:<18} {:>9.3}% {:>9.3}% {:>9.3}% {:>9.3}%",
+            name,
+            curve.percent_at(250).unwrap_or(f64::NAN),
+            curve.percent_at(1_000).unwrap_or(f64::NAN),
+            curve.percent_at(10_000).unwrap_or(f64::NAN),
+            curve.percent_at(100_000).unwrap_or(f64::NAN),
+        );
+    }
+
+    // The cautionary counter-case: small domains leak fast.
+    let birthdays: Vec<u64> = (0..300_000u64).map(|i| (i * 2_654_435_761) % 365).collect();
+    let curve = rpoi_for_queries(&birthdays, (0, 364), &checkpoints, 9);
+    println!(
+        "{:<18} {:>9.3}% {:>9.3}% {:>9.3}% {:>9.3}%   <-- small domain!",
+        "day-of-year",
+        curve.percent_at(250).unwrap_or(f64::NAN),
+        curve.percent_at(1_000).unwrap_or(f64::NAN),
+        curve.percent_at(10_000).unwrap_or(f64::NAN),
+        curve.percent_at(100_000).unwrap_or(f64::NAN),
+    );
+
+    // The OPE comparison: total order leaked before the first query.
+    let salaries = realsim::labor_salaries(50_000, 1);
+    println!(
+        "{:<18} {:>9.3}% (with ZERO queries observed)   <-- CryptDB-style OPE",
+        "salaries w/ OPE",
+        ope_rpoi(&salaries, 0xC0FFEE) * 100.0
+    );
+
+    println!(
+        "\nreading: for large-domain attributes the recovered order stays in\n\
+         single-digit percent even after 100k observed queries, while an\n\
+         OPE-based design (CryptDB-style) leaks 100% before the first query.\n\
+         Small domains (day-of-year) approach full recovery quickly — do not\n\
+         rely on result-revealing EDBMSs for those. PRKB adds nothing on top:\n\
+         it only reorganizes what SP already saw."
+    );
+}

@@ -1,0 +1,312 @@
+//! `SecureDb` — the whole system in one handle.
+//!
+//! Wires together every layer of the reproduction the way a deployment
+//! would: the data owner's keys, the service provider's encrypted
+//! [`Catalog`], the trusted machine, and one PRKB engine per table — behind
+//! a SQL-string query API. The owner and provider run in one process here
+//! (this is a research reproduction), but the information flow respects the
+//! paper's model: plaintext and keys never cross into the catalog/engine
+//! side except through trapdoors and the TM.
+//!
+//! ```
+//! use prkb::SecureDb;
+//! use prkb::edbms::PlainTable;
+//!
+//! let mut db = SecureDb::with_seed(7);
+//! db.create_table(PlainTable::single_column("t", "x", (0..1000).collect()))?;
+//! let sel = db.query("SELECT * FROM t WHERE x BETWEEN 100 AND 199")?;
+//! assert_eq!(sel.tuples.len(), 100);
+//! # Ok::<(), prkb::DbError>(())
+//! ```
+
+use prkb_core::{EngineConfig, PrkbEngine, Selection};
+use prkb_edbms::db::Catalog;
+use prkb_edbms::{
+    parse_sql, DataOwner, EdbmsError, EncryptedPredicate, PlainTable, Schema, SpOracle, SqlError,
+    TmConfig, TrustedMachine, TupleId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors surfaced by [`SecureDb`].
+#[derive(Debug)]
+pub enum DbError {
+    /// SQL parsing / binding failed.
+    Sql(SqlError),
+    /// Storage / crypto / arity failure in the EDBMS substrate.
+    Edbms(EdbmsError),
+    /// The query referenced a table the catalog does not have.
+    UnknownTable(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Sql(e) => write!(f, "{e}"),
+            DbError::Edbms(e) => write!(f, "{e}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<SqlError> for DbError {
+    fn from(e: SqlError) -> Self {
+        DbError::Sql(e)
+    }
+}
+
+impl From<EdbmsError> for DbError {
+    fn from(e: EdbmsError) -> Self {
+        DbError::Edbms(e)
+    }
+}
+
+/// An encrypted database with PRKB-accelerated selections.
+pub struct SecureDb {
+    owner: DataOwner,
+    catalog: Catalog,
+    tm: TrustedMachine,
+    engines: HashMap<String, PrkbEngine<EncryptedPredicate>>,
+    schemas: HashMap<String, Schema>,
+    rng: StdRng,
+}
+
+impl SecureDb {
+    /// Creates a database with a seeded key hierarchy and RNG
+    /// (reproducible runs; use distinct seeds per deployment).
+    pub fn with_seed(seed: u64) -> Self {
+        let owner = DataOwner::with_seed(seed);
+        let tm = owner.trusted_machine(TmConfig::default());
+        SecureDb {
+            owner,
+            catalog: Catalog::new(),
+            tm,
+            engines: HashMap::new(),
+            schemas: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed),
+        }
+    }
+
+    /// Encrypts and uploads a plaintext table, initializing a PRKB engine
+    /// over every attribute.
+    ///
+    /// # Errors
+    /// Fails if the name is already registered.
+    pub fn create_table(&mut self, plain: PlainTable) -> Result<(), DbError> {
+        let schema = plain.schema().clone();
+        let encrypted = self.owner.encrypt_table(&plain, &mut self.rng);
+        let n = encrypted.len();
+        self.catalog.register(encrypted)?;
+        let mut engine = PrkbEngine::new(EngineConfig::default());
+        for (attr, _) in schema.attrs() {
+            engine.init_attr(attr, n);
+        }
+        self.engines.insert(schema.table().to_string(), engine);
+        self.schemas.insert(schema.table().to_string(), schema);
+        Ok(())
+    }
+
+    /// Executes a SQL selection (`SELECT * FROM t [WHERE …]`), returning the
+    /// matching tuple ids plus QPF-cost accounting.
+    ///
+    /// # Errors
+    /// Fails on parse errors or unknown tables.
+    pub fn query(&mut self, sql: &str) -> Result<Selection, DbError> {
+        // Bind against the named table's schema.
+        let table_name = sql
+            .split_whitespace()
+            .skip_while(|w| !w.eq_ignore_ascii_case("FROM"))
+            .nth(1)
+            .map(|w| w.trim_end_matches(';').to_string())
+            .ok_or_else(|| DbError::Sql(SqlError::Syntax("missing FROM".into())))?;
+        let schema = self
+            .schemas
+            .get(&table_name)
+            .ok_or_else(|| DbError::UnknownTable(table_name.clone()))?;
+        let parsed = parse_sql(sql, schema)?;
+
+        let trapdoors: Vec<EncryptedPredicate> = parsed
+            .predicates
+            .iter()
+            .map(|p| self.owner.trapdoor(&parsed.table, p, &mut self.rng))
+            .collect::<Result<_, _>>()?;
+
+        let table = self
+            .catalog
+            .table(&parsed.table)
+            .ok_or_else(|| DbError::UnknownTable(parsed.table.clone()))?;
+        let engine = self
+            .engines
+            .get_mut(&parsed.table)
+            .ok_or_else(|| DbError::UnknownTable(parsed.table.clone()))?;
+        let oracle = SpOracle::new(table, &self.tm);
+        Ok(engine.select_conjunction(&oracle, &trapdoors, &mut self.rng))
+    }
+
+    /// Inserts a plaintext row: encrypted at the owner, appended at the
+    /// provider, routed into every attribute's PRKB (O(β lg k) QPF).
+    ///
+    /// # Errors
+    /// Fails on unknown table or arity mismatch.
+    pub fn insert(&mut self, table: &str, row: &[u64]) -> Result<TupleId, DbError> {
+        let cells = self.owner.encrypt_row(table, row, &mut self.rng);
+        let refs: Vec<&[u8]> = cells.iter().map(Vec::as_slice).collect();
+        let t = {
+            let tbl = self
+                .catalog
+                .table_mut(table)
+                .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+            tbl.push_encrypted_row(&refs)?
+        };
+        let tbl = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let engine = self
+            .engines
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let oracle = SpOracle::new(tbl, &self.tm);
+        engine.insert(&oracle, t);
+        Ok(t)
+    }
+
+    /// Deletes a tuple from a table and its indexes.
+    ///
+    /// # Errors
+    /// Fails on unknown table or tuple.
+    pub fn delete(&mut self, table: &str, t: TupleId) -> Result<(), DbError> {
+        self.catalog.delete(table, t)?;
+        if let Some(engine) = self.engines.get_mut(table) {
+            engine.delete(t);
+        }
+        Ok(())
+    }
+
+    /// Total QPF uses spent so far (the paper's primary cost metric).
+    pub fn qpf_uses(&self) -> u64 {
+        self.tm.qpf_uses()
+    }
+
+    /// Index storage across tables (PRKB bytes).
+    pub fn index_storage_bytes(&self) -> usize {
+        self.engines.values().map(PrkbEngine::storage_bytes).sum()
+    }
+
+    /// Ciphertext storage across tables.
+    pub fn data_storage_bytes(&self) -> usize {
+        self.catalog.storage_bytes()
+    }
+
+    /// The PRKB engine for a table (introspection: partition counts, etc.).
+    pub fn engine(&self, table: &str) -> Option<&PrkbEngine<EncryptedPredicate>> {
+        self.engines.get(table)
+    }
+}
+
+impl fmt::Debug for SecureDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecureDb")
+            .field("tables", &self.schemas.keys().collect::<Vec<_>>())
+            .field("qpf_uses", &self.qpf_uses())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prkb_edbms::Schema;
+
+    fn db_with_sales() -> SecureDb {
+        let mut db = SecureDb::with_seed(3);
+        let amounts: Vec<u64> = (0..2000).map(|i| (i * 37) % 10_000).collect();
+        let days: Vec<u64> = (0..2000).map(|i| (i * 13) % 365 + 1).collect();
+        let plain = PlainTable::from_columns(
+            Schema::new("sales", &["amount", "day"]),
+            vec![amounts, days],
+        )
+        .expect("rectangular");
+        db.create_table(plain).expect("fresh table");
+        db
+    }
+
+    #[test]
+    fn sql_roundtrip() {
+        let mut db = db_with_sales();
+        let sel = db.query("SELECT * FROM sales WHERE amount < 5000").expect("valid");
+        assert!(!sel.tuples.is_empty());
+        let again = db.query("SELECT * FROM sales WHERE amount < 5000").expect("valid");
+        assert_eq!(sel.sorted(), again.sorted());
+        // Warm the index with a spread of cuts, then re-ask: the repeated
+        // query must be far cheaper than the cold one.
+        for bound in (500..10_000).step_by(500) {
+            db.query(&format!("SELECT * FROM sales WHERE amount < {bound}"))
+                .expect("valid");
+        }
+        let warmed = db.query("SELECT * FROM sales WHERE amount < 5000").expect("valid");
+        assert_eq!(sel.sorted(), warmed.sorted());
+        assert!(
+            warmed.stats.qpf_uses < sel.stats.qpf_uses / 4,
+            "cold {} vs warmed {}",
+            sel.stats.qpf_uses,
+            warmed.stats.qpf_uses
+        );
+    }
+
+    #[test]
+    fn multi_dim_sql() {
+        let mut db = db_with_sales();
+        let sel = db
+            .query("SELECT * FROM sales WHERE 100 < amount AND amount < 5000 AND day BETWEEN 50 AND 200")
+            .expect("valid");
+        let full = db.query("SELECT * FROM sales").expect("valid");
+        assert!(sel.tuples.len() < full.tuples.len());
+    }
+
+    #[test]
+    fn insert_delete_query() {
+        let mut db = db_with_sales();
+        let t = db.insert("sales", &[123_456, 77]).expect("arity ok");
+        let sel = db.query("SELECT * FROM sales WHERE amount > 100000").expect("valid");
+        assert_eq!(sel.sorted(), vec![t]);
+        db.delete("sales", t).expect("live tuple");
+        let sel = db.query("SELECT * FROM sales WHERE amount > 100000").expect("valid");
+        assert!(sel.tuples.is_empty());
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut db = db_with_sales();
+        assert!(matches!(
+            db.query("SELECT * FROM nope WHERE x < 1"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT * FROM sales WHERE ghost < 1"),
+            Err(DbError::Sql(_))
+        ));
+        assert!(db.insert("sales", &[1]).is_err(), "arity mismatch");
+        assert!(db.delete("sales", 999_999).is_err());
+        // Duplicate table name.
+        let plain = PlainTable::single_column("sales", "x", vec![1]);
+        assert!(db.create_table(plain).is_err());
+    }
+
+    #[test]
+    fn accounting_accessors() {
+        let mut db = db_with_sales();
+        assert_eq!(db.qpf_uses(), 0);
+        db.query("SELECT * FROM sales WHERE amount < 100").expect("valid");
+        assert!(db.qpf_uses() > 0);
+        assert!(db.index_storage_bytes() > 0);
+        assert!(db.data_storage_bytes() > 0);
+        assert!(db.engine("sales").is_some());
+        let dbg = format!("{db:?}");
+        assert!(dbg.contains("sales"));
+    }
+}

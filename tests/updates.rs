@@ -1,0 +1,166 @@
+//! Database-update integration (paper §7): heavy interleaving of inserts,
+//! deletions, and queries on the real encrypted pipeline, with a plaintext
+//! mirror as ground truth.
+
+use prkb::core::{EngineConfig, PrkbEngine};
+use prkb::edbms::{
+    ComparisonOp, DataOwner, PlainTable, Predicate, SpOracle, TmConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn interleaved_insert_delete_query_churn() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n0 = 1_000usize;
+    let mut mirror: Vec<Option<u64>> = (0..n0)
+        .map(|_| Some(rng.gen_range(0..100_000u64)))
+        .collect();
+    let plain = PlainTable::single_column(
+        "t",
+        "x",
+        mirror.iter().map(|v| v.expect("initial values live")).collect(),
+    );
+    let owner = DataOwner::with_seed(7);
+    let mut table = owner.encrypt_table(&plain, &mut rng);
+    let tm = owner.trusted_machine(TmConfig::default());
+    let mut engine: PrkbEngine<_> = PrkbEngine::new(EngineConfig::default());
+    engine.init_attr(0, n0);
+
+    for round in 0..400u32 {
+        match round % 4 {
+            // Insert.
+            0 => {
+                let v = rng.gen_range(0..100_000u64);
+                let cells = owner.encrypt_row("t", &[v], &mut rng);
+                let refs: Vec<&[u8]> = cells.iter().map(Vec::as_slice).collect();
+                let t = table.push_encrypted_row(&refs).expect("arity");
+                assert_eq!(t as usize, mirror.len());
+                mirror.push(Some(v));
+                let oracle = SpOracle::new(&table, &tm);
+                engine.insert(&oracle, t);
+            }
+            // Delete a random live tuple.
+            1 => {
+                let live: Vec<u32> = mirror
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.is_some().then_some(i as u32))
+                    .collect();
+                let victim = live[rng.gen_range(0..live.len())];
+                table.delete(victim).expect("live");
+                mirror[victim as usize] = None;
+                engine.delete(victim);
+            }
+            // Query and verify.
+            _ => {
+                let c = rng.gen_range(0..110_000u64);
+                let op = ComparisonOp::ALL[rng.gen_range(0..4)];
+                let p = Predicate::cmp(0, op, c);
+                let trapdoor = owner.trapdoor("t", &p, &mut rng).expect("valid");
+                let oracle = SpOracle::new(&table, &tm);
+                let sel = engine.select(&oracle, &trapdoor, &mut rng);
+                let expected: Vec<u32> = mirror
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| {
+                        v.and_then(|v| p.eval(v).then_some(i as u32))
+                    })
+                    .collect();
+                assert_eq!(sel.sorted(), expected, "round {round}, {p:?}");
+            }
+        }
+        if round % 50 == 0 {
+            engine.knowledge(0).expect("attr 0").check_invariants();
+        }
+    }
+    engine.knowledge(0).expect("attr 0").check_invariants();
+}
+
+#[test]
+fn insert_cost_is_logarithmic_in_k() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 20_000usize;
+    let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+    let plain = PlainTable::single_column("t", "x", values);
+    let owner = DataOwner::with_seed(8);
+    let mut table = owner.encrypt_table(&plain, &mut rng);
+    let tm = owner.trusted_machine(TmConfig::default());
+    let mut engine: PrkbEngine<_> = PrkbEngine::new(EngineConfig::default());
+    engine.init_attr(0, n);
+
+    // Warm to several hundred partitions.
+    let oracle_uses_before_warm = tm.qpf_uses();
+    for _ in 0..300 {
+        let c = rng.gen_range(0..1_000_000u64);
+        let p = owner
+            .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng)
+            .expect("valid");
+        let oracle = SpOracle::new(&table, &tm);
+        engine.select(&oracle, &p, &mut rng);
+    }
+    let k = engine.knowledge(0).expect("attr").k();
+    assert!(k > 200, "k = {k}");
+    let _ = oracle_uses_before_warm;
+
+    // 200 inserts: each must cost ≤ ceil(lg k) + 1 QPF.
+    let budget = (usize::BITS - (k - 1).leading_zeros()) as u64 + 1;
+    for _ in 0..200 {
+        let v = rng.gen_range(0..1_000_000u64);
+        let cells = owner.encrypt_row("t", &[v], &mut rng);
+        let refs: Vec<&[u8]> = cells.iter().map(Vec::as_slice).collect();
+        let t = table.push_encrypted_row(&refs).expect("arity");
+        let before = tm.qpf_uses();
+        let oracle = SpOracle::new(&table, &tm);
+        engine.insert(&oracle, t);
+        let spent = tm.qpf_uses() - before;
+        assert!(spent <= budget, "insert spent {spent} QPF with k={k}");
+    }
+}
+
+#[test]
+fn deleting_everything_then_reinserting_works() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let values: Vec<u64> = (0..200u64).collect();
+    let plain = PlainTable::single_column("t", "x", values);
+    let owner = DataOwner::with_seed(9);
+    let mut table = owner.encrypt_table(&plain, &mut rng);
+    let tm = owner.trusted_machine(TmConfig::default());
+    let mut engine: PrkbEngine<_> = PrkbEngine::new(EngineConfig::default());
+    engine.init_attr(0, 200);
+
+    // Build a little knowledge first.
+    for c in [50u64, 100, 150] {
+        let p = owner
+            .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng)
+            .expect("valid");
+        let oracle = SpOracle::new(&table, &tm);
+        engine.select(&oracle, &p, &mut rng);
+    }
+
+    for t in 0..200u32 {
+        table.delete(t).expect("live");
+        engine.delete(t);
+    }
+    assert_eq!(engine.knowledge(0).expect("attr").k(), 0);
+
+    // Re-insert and query.
+    let mut expected = Vec::new();
+    for v in [10u64, 60, 110, 160] {
+        let cells = owner.encrypt_row("t", &[v], &mut rng);
+        let refs: Vec<&[u8]> = cells.iter().map(Vec::as_slice).collect();
+        let t = table.push_encrypted_row(&refs).expect("arity");
+        let oracle = SpOracle::new(&table, &tm);
+        engine.insert(&oracle, t);
+        if v < 100 {
+            expected.push(t);
+        }
+    }
+    let p = owner
+        .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, 100), &mut rng)
+        .expect("valid");
+    let oracle = SpOracle::new(&table, &tm);
+    let sel = engine.select(&oracle, &p, &mut rng);
+    assert_eq!(sel.sorted(), expected);
+    engine.knowledge(0).expect("attr").check_invariants();
+}
