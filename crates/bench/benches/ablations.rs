@@ -153,6 +153,7 @@ fn bench_md_policies(c: &mut Criterion) {
                     let mut engine: PrkbEngine<Predicate> = PrkbEngine::new(EngineConfig {
                         update: true,
                         md_policy: policy,
+                        threads: None,
                     });
                     engine.init_attr(0, n);
                     engine.init_attr(1, n);

@@ -1,0 +1,79 @@
+//! Wall-clock of the batched, lock-hoisted, multi-threaded QPF pipeline.
+//!
+//! Measures the baseline linear scan and a warmed PRKB select at 1/2/4/8
+//! batch-eval worker threads over n = 100k tuples, with enclave work factor
+//! 0 (pure decrypt-and-compare) and 8 (emulated round-trip latency). QPF
+//! counts are thread-invariant by construction — only wall-clock moves —
+//! which each routine asserts as it runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prkb_bench::harness::{fresh_engine, warm_to_k, EncSetup};
+use prkb_edbms::select::linear_scan;
+use prkb_edbms::{ComparisonOp, SelectionOracle, SpOracle, TmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 100_000;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_linear_scan(c: &mut Criterion) {
+    let setup = EncSetup::new("pscan", vec![(0..N as u64).collect()], 41);
+    let mut rng = StdRng::seed_from_u64(42);
+    let pred = setup.cmp_trapdoor(0, ComparisonOp::Lt, N as u64 / 2, &mut rng);
+
+    for wf in [0u32, 8] {
+        let tm = setup
+            .owner
+            .trusted_machine(TmConfig { work_factor: wf, ..TmConfig::default() });
+        let mut g = c.benchmark_group(format!("linear_scan_100k_wf{wf}"));
+        g.sample_size(10);
+        for t in THREADS {
+            let oracle = SpOracle::new(&setup.table, &tm).with_threads(t);
+            g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+                b.iter(|| {
+                    let before = oracle.qpf_uses();
+                    let hits = linear_scan(&oracle, &pred);
+                    assert_eq!(hits.len(), N / 2);
+                    assert_eq!(oracle.qpf_uses() - before, N as u64);
+                    hits
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_prkb_select(c: &mut Criterion) {
+    let setup = EncSetup::new("pselect", vec![(0..N as u64).collect()], 43);
+    let mut rng = StdRng::seed_from_u64(44);
+    let pred = setup.cmp_trapdoor(0, ComparisonOp::Lt, N as u64 / 2, &mut rng);
+
+    // Warm one PRKB to a moderate k (thread count does not influence the
+    // index: verdicts — and therefore splits — are thread-invariant), then
+    // freeze it so every measured select does identical work.
+    let mut engine = fresh_engine(&setup, true);
+    warm_to_k(&mut engine, &setup, 0, 64, 0.01, 45);
+    engine.config.update = false;
+
+    for wf in [0u32, 8] {
+        let tm = setup
+            .owner
+            .trusted_machine(TmConfig { work_factor: wf, ..TmConfig::default() });
+        let mut g = c.benchmark_group(format!("prkb_select_100k_wf{wf}"));
+        g.sample_size(10);
+        for t in THREADS {
+            let oracle = SpOracle::new(&setup.table, &tm).with_threads(t);
+            g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+                b.iter(|| {
+                    let sel = engine.select(&oracle, &pred, &mut rng);
+                    assert_eq!(sel.tuples.len(), N / 2);
+                    sel
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_linear_scan, bench_prkb_select);
+criterion_main!(benches);

@@ -3,11 +3,10 @@
 //! i-th query's `# QPF use` and execution time for PRKB(SD), with
 //! Logarithmic-SRC-i and the index-less Baseline as references.
 
-use crate::harness::{fmt_ms, fresh_engine, timed, EncSetup, Report};
+use crate::harness::{fmt_ms, fresh_engine, measure_span, EncSetup, Report};
 use crate::scale::Scale;
 use prkb_datagen::{synthetic, WorkloadGen, SYNTH_DOMAIN_MAX, SYNTH_DOMAIN_MIN};
 use prkb_edbms::select::conjunctive_scan;
-use prkb_edbms::SelectionOracle;
 use prkb_srci::{confirm, SrciClient, SrciConfig, SrciIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,41 +66,35 @@ pub fn measure(scale: Scale) -> Fig8Data {
         let r = gen.range_with_selectivity(0.01, &mut rng);
         let preds = setup.range_trapdoors(0, r.lo, r.hi, &mut rng);
 
-        let before = oracle.qpf_uses();
-        let (_, prkb_t) = timed(|| {
+        let (_, prkb) = measure_span(&oracle, || {
             for p in &preds {
                 engine.select(&oracle, p, &mut rng);
             }
         });
-        let prkb_qpf = oracle.qpf_uses() - before;
 
-        let before = oracle.qpf_uses();
-        let (_, srci_t) = timed(|| {
+        let (_, srci_m) = measure_span(&oracle, || {
             let cands = srci.candidates(&client, r.lo + 1, r.hi - 1);
             confirm(&oracle, &preds, &cands)
         });
-        let srci_confirms = oracle.qpf_uses() - before;
 
         points.push(Fig8Point {
             query: q,
-            prkb_qpf,
-            prkb_ms: prkb_t.as_secs_f64() * 1e3,
-            srci_ms: srci_t.as_secs_f64() * 1e3,
-            srci_confirms,
+            prkb_qpf: prkb.qpf_uses,
+            prkb_ms: prkb.ms,
+            srci_ms: srci_m.ms,
+            srci_confirms: srci_m.qpf_uses,
         });
     }
 
     // Baseline: one representative query (cost is data-size bound).
     let r = gen.range_with_selectivity(0.01, &mut rng);
     let preds = setup.range_trapdoors(0, r.lo, r.hi, &mut rng);
-    let before = oracle.qpf_uses();
-    let (_, base_t) = timed(|| conjunctive_scan(&oracle, &preds));
-    let baseline_qpf = oracle.qpf_uses() - before;
+    let (_, base) = measure_span(&oracle, || conjunctive_scan(&oracle, &preds));
 
     Fig8Data {
         points,
-        baseline_qpf,
-        baseline_ms: base_t.as_secs_f64() * 1e3,
+        baseline_qpf: base.qpf_uses,
+        baseline_ms: base.ms,
         k_final: engine.knowledge(0).map_or(0, |k| k.k()),
     }
 }

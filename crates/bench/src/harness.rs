@@ -55,6 +55,15 @@ impl EncSetup {
         SpOracle::new(&self.table, &self.tm)
     }
 
+    /// The service-provider oracle honoring an engine config's batch-eval
+    /// thread knob (falls back to `PRKB_THREADS` when the knob is unset).
+    pub fn oracle_for(&self, config: &EngineConfig) -> SpOracle<'_> {
+        match config.threads {
+            Some(t) => self.oracle().with_threads(t),
+            None => self.oracle(),
+        }
+    }
+
     /// Issues the two comparison trapdoors of an exclusive range
     /// `lo < X < hi` on `attr`.
     pub fn range_trapdoors<Rn: rand::Rng>(
@@ -93,6 +102,7 @@ pub fn fresh_engine(setup: &EncSetup, update: bool) -> PrkbEngine<EncryptedPredi
     let mut engine = PrkbEngine::new(EngineConfig {
         update,
         md_policy: MdUpdatePolicy::PartialOnly,
+        threads: None,
     });
     for a in 0..setup.columns.len() {
         engine.init_attr(a as AttrId, setup.table.len());
@@ -140,6 +150,42 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// One measured span: the paper's primary cost metric (QPF uses) alongside
+/// the wall-clock it took — experiment tables report both.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measured {
+    /// QPF uses spent inside the span.
+    pub qpf_uses: u64,
+    /// Wall-clock milliseconds of the span.
+    pub ms: f64,
+}
+
+impl Measured {
+    /// The span as two report cells: QPF uses, then milliseconds.
+    pub fn cells(&self) -> [String; 2] {
+        [format!("{}", self.qpf_uses), format!("{:.3}", self.ms)]
+    }
+}
+
+/// Runs a closure, differencing the oracle's QPF counter around it and
+/// timing it, so every result row can carry both metrics.
+pub fn measure_span<O: prkb_edbms::SelectionOracle, T>(
+    oracle: &O,
+    f: impl FnOnce() -> T,
+) -> (T, Measured) {
+    let before = oracle.qpf_uses();
+    let start = Instant::now();
+    let out = f();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (
+        out,
+        Measured {
+            qpf_uses: oracle.qpf_uses() - before,
+            ms,
+        },
+    )
 }
 
 /// Incremental report builder with aligned columns.
@@ -206,6 +252,35 @@ mod tests {
         let mut engine = fresh_engine(&setup, true);
         warm_to_k(&mut engine, &setup, 0, 50, 0.01, 4);
         assert!(engine.knowledge(0).unwrap().k() >= 50);
+    }
+
+    #[test]
+    fn measure_span_reports_both_metrics() {
+        let cols = vec![(0..200u64).collect::<Vec<_>>()];
+        let setup = EncSetup::new("t", cols, 5);
+        let oracle = setup.oracle();
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = setup.cmp_trapdoor(0, ComparisonOp::Lt, 50, &mut rng);
+        let (sel, m) = measure_span(&oracle, || {
+            prkb_edbms::select::linear_scan(&oracle, &p)
+        });
+        assert_eq!(sel.len(), 50);
+        assert_eq!(m.qpf_uses, 200, "one use per live tuple");
+        assert!(m.ms >= 0.0);
+        let cells = m.cells();
+        assert_eq!(cells[0], "200");
+    }
+
+    #[test]
+    fn oracle_for_honors_thread_knob() {
+        let cols = vec![(0..10u64).collect::<Vec<_>>()];
+        let setup = EncSetup::new("t", cols, 7);
+        let cfg = EngineConfig {
+            threads: Some(4),
+            ..EngineConfig::default()
+        };
+        assert_eq!(setup.oracle_for(&cfg).threads(), Some(4));
+        assert_eq!(setup.oracle_for(&EngineConfig::default()).threads(), None);
     }
 
     #[test]

@@ -118,11 +118,12 @@ where
         }
     }
 
-    // Overflow tuples are always examined individually.
-    for e in kb.overflow().to_vec() {
-        if oracle.eval(pred, e.tuple) {
-            tuples.push(e.tuple);
-        }
+    // Overflow tuples are always examined, unconditionally — one batch.
+    let overflow: Vec<TupleId> = kb.overflow().iter().map(|e| e.tuple).collect();
+    if !overflow.is_empty() {
+        let mut verdicts = Vec::new();
+        oracle.eval_batch(pred, &overflow, &mut verdicts);
+        tuples.extend(overflow.into_iter().zip(verdicts).filter_map(|(t, v)| v.then_some(t)));
     }
 
     let mut splits = 0usize;
@@ -150,10 +151,15 @@ fn scan_rank<O: SelectionOracle>(
 where
     O::Pred: SpPredicate,
 {
+    // Full partition scan: every member is evaluated unconditionally, so a
+    // single batch gives the exact per-tuple QPF count.
+    let members = kb.pop().members_at(rank);
+    let mut verdicts = Vec::new();
+    oracle.eval_batch(pred, members, &mut verdicts);
     let mut true_half = Vec::new();
     let mut false_half = Vec::new();
-    for &t in kb.pop().members_at(rank) {
-        if oracle.eval(pred, t) {
+    for (&t, v) in members.iter().zip(verdicts) {
+        if v {
             true_half.push(t);
         } else {
             false_half.push(t);

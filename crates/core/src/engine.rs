@@ -25,6 +25,12 @@ pub struct EngineConfig {
     pub update: bool,
     /// Refinement policy for multi-dimensional queries.
     pub md_policy: MdUpdatePolicy,
+    /// Worker threads for batched QPF evaluation (`None` defers to the
+    /// `PRKB_THREADS` environment variable). The engine itself is
+    /// oracle-agnostic: deployments apply this knob when pairing the engine
+    /// with its oracle, e.g. `SpOracle::with_threads`. Thread count never
+    /// affects results or QPF-use counts — only wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +38,7 @@ impl Default for EngineConfig {
         EngineConfig {
             update: true,
             md_policy: MdUpdatePolicy::PartialOnly,
+            threads: None,
         }
     }
 }

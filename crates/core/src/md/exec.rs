@@ -146,36 +146,66 @@ where
         candidates.extend(dims[driver].knowledge.overflow().iter().map(|e| e.tuple));
     }
 
-    let mut winners: Vec<TupleId> = Vec::new();
-    'tuples: for t in candidates {
+    // Free pass first: a tuple provably out in *any* dimension is discarded
+    // before a single QPF is spent on it (Fig. 6b pruning). Classes are
+    // fixed for the whole phase, so this prunes the candidate list upfront.
+    let mut survivors: Vec<TupleId> = Vec::new();
+    'cands: for t in candidates {
         if !oracle.is_live(t) {
             continue;
         }
-        // Free pass first: a tuple provably out in *any* dimension is
-        // discarded before a single QPF is spent on it (Fig. 6b pruning).
         for (di, dim) in dims.iter().enumerate() {
             if let Some(r) = dim.knowledge.pop().rank_of_tuple(t) {
                 if classes[di][r].known_false() {
-                    continue 'tuples;
+                    continue 'cands;
                 }
             }
         }
-        for (di, dim) in dims.iter().enumerate() {
-            let rank = dim.knowledge.pop().rank_of_tuple(t);
-            let class = rank.map(|r| classes[di][r]);
-            if let Some(c) = class {
-                debug_assert!(!c.known_false(), "filtered by the free pass");
-                if c.known_true() {
-                    continue;
-                }
+        survivors.push(t);
+    }
+
+    // Evaluate wave-major: one wave per (dimension, trapdoor), each over the
+    // tuples that survived every earlier wave. This is QPF-count-identical
+    // to the tuple-major loop with per-tuple short-circuit: the early-stop
+    // state of a (dim, trapdoor) pair is only read and written by its own
+    // wave, and in the same candidate order the per-tuple loop would visit.
+    // Within a wave, only tuples in the NS pair itself can flip from
+    // "evaluate" to "inferred" (when an earlier tuple resolves the pair), so
+    // they run sequentially through the state machine; tuples at every
+    // other rank — and overflow tuples — are evaluated unconditionally and
+    // go through one lock-hoisted oracle batch.
+    let mut wave: Vec<bool> = Vec::new();
+    let mut batch: Vec<TupleId> = Vec::new();
+    let mut batch_meta: Vec<(usize, bool)> = Vec::new();
+    let mut verdicts: Vec<bool> = Vec::new();
+    for (di, dim) in dims.iter().enumerate() {
+        let pop = dim.knowledge.pop();
+        for j in 0..2 {
+            if survivors.is_empty() {
+                break;
             }
-            for j in 0..2 {
-                if let Some(true) = class.and_then(|c| c.pred(j)) {
-                    continue;
+            wave.clear();
+            wave.resize(survivors.len(), true);
+            batch.clear();
+            batch_meta.clear();
+            for (i, &t) in survivors.iter().enumerate() {
+                let rank = pop.rank_of_tuple(t);
+                let class = rank.map(|r| classes[di][r]);
+                if let Some(c) = class {
+                    debug_assert!(!c.known_false(), "filtered by the free pass");
+                    if c.known_true() {
+                        continue;
+                    }
+                    if c.pred(j) == Some(true) {
+                        continue;
+                    }
                 }
-                let out = match (&ns_states[di][j], rank) {
-                    (Some(st), Some(r)) => {
-                        if let Some(v) = st.inferred(r) {
+                match (&ns_states[di][j], rank) {
+                    (Some(st), Some(r)) if r == st.a || r == st.b => {
+                        // NS-pair tuple: may be inferred, and a tested
+                        // outcome feeds the early-stop state for the tuples
+                        // after it — keep strictly in candidate order.
+                        wave[i] = if let Some(v) = st.inferred(r) {
                             v
                         } else {
                             let v = oracle.eval(&dim.preds[j], t);
@@ -185,19 +215,35 @@ where
                                 .expect("state present")
                                 .record(r, v);
                             v
-                        }
+                        };
                     }
-                    // Overflow tuple (or empty POP): test directly; the
-                    // outcome cannot feed a partition split.
-                    _ => oracle.eval(&dim.preds[j], t),
-                };
-                if !out {
-                    continue 'tuples;
+                    (st, rank) => {
+                        // Outside the NS pair the outcome is never inferred
+                        // (and never resolves the pair), so the evaluation
+                        // is unconditional: batch it. The outcome is kept
+                        // for the update phase only when the tuple sits in
+                        // a partition (overflow outcomes cannot feed a
+                        // split).
+                        batch.push(t);
+                        batch_meta.push((i, st.is_some() && rank.is_some()));
+                    }
                 }
             }
+            if !batch.is_empty() {
+                oracle.eval_batch(&dim.preds[j], &batch, &mut verdicts);
+                for (k, &v) in verdicts.iter().enumerate() {
+                    let (i, keep_outcome) = batch_meta[k];
+                    wave[i] = v;
+                    if keep_outcome {
+                        outcomes[di][j].push((batch[k], v));
+                    }
+                }
+            }
+            let mut keep = wave.iter().copied();
+            survivors.retain(|_| keep.next().expect("one verdict per survivor"));
         }
-        winners.push(t);
     }
+    let winners = survivors;
 
     // Phase 3: refine each dimension's POP from fully-decided partitions.
     let mut splits = 0usize;

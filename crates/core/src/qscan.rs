@@ -56,11 +56,12 @@ pub fn qscan<O: SelectionOracle>(
 
     // Scan P_a fully.
     let (a_true, a_false) = scan_partition(pop, oracle, pred, a);
-    let mut winners = a_true.clone();
 
     if !a_true.is_empty() && !a_false.is_empty() {
         // P_a is non-homogeneous: s = a; early stop. P_b is implied
-        // homogeneous with its sampled label.
+        // homogeneous with its sampled label. The true half appears both as
+        // winners and as the split record, so this one clone is inherent.
+        let mut winners = a_true.clone();
         let mut label_b_full = None;
         if b != a {
             if filter.label_b {
@@ -80,7 +81,11 @@ pub fn qscan<O: SelectionOracle>(
         };
     }
 
+    // P_a homogeneous: its true half is consumed only as winners, so move
+    // it rather than clone.
     let label_a_full = Some(!a_true.is_empty());
+    let a_true_len = a_true.len();
+    let mut winners = a_true;
     if a == b {
         // Single-partition POP scanned homogeneous: nothing further.
         return ScanResult {
@@ -106,7 +111,7 @@ pub fn qscan<O: SelectionOracle>(
     let label_b_full = if split.is_some() {
         None
     } else {
-        Some(winners.len() > a_true.len())
+        Some(winners.len() > a_true_len)
     };
     ScanResult {
         winners,
@@ -116,16 +121,22 @@ pub fn qscan<O: SelectionOracle>(
     }
 }
 
+/// Fully scans the partition at `rank` as one oracle batch (every member is
+/// evaluated unconditionally, so batching cannot change the QPF count) and
+/// separates members by verdict.
 fn scan_partition<O: SelectionOracle>(
     pop: &Pop,
     oracle: &O,
     pred: &O::Pred,
     rank: usize,
 ) -> (Vec<TupleId>, Vec<TupleId>) {
+    let members = pop.members_at(rank);
+    let mut verdicts = Vec::new();
+    oracle.eval_batch(pred, members, &mut verdicts);
     let mut t_half = Vec::new();
     let mut f_half = Vec::new();
-    for &t in pop.members_at(rank) {
-        if oracle.eval(pred, t) {
+    for (&t, v) in members.iter().zip(verdicts) {
+        if v {
             t_half.push(t);
         } else {
             f_half.push(t);

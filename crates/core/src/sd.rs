@@ -43,13 +43,15 @@ where
     let mut tuples = filter.winner_tuples(kb.pop());
     tuples.extend_from_slice(&scan.winners);
 
-    // Overflow tuples are always examined individually.
+    // Overflow tuples are always examined, unconditionally — one batch.
+    let overflow: Vec<TupleId> = kb.overflow().iter().map(|e| e.tuple).collect();
+    let mut verdicts = Vec::new();
+    oracle.eval_batch(pred, &overflow, &mut verdicts);
     let mut overflow_out: HashMap<TupleId, bool> = HashMap::new();
-    for e in kb.overflow() {
-        let out = oracle.eval(pred, e.tuple);
-        overflow_out.insert(e.tuple, out);
+    for (t, out) in overflow.into_iter().zip(verdicts) {
+        overflow_out.insert(t, out);
         if out {
-            tuples.push(e.tuple);
+            tuples.push(t);
         }
     }
 

@@ -27,6 +27,7 @@ pub mod db;
 pub mod encrypted;
 pub mod error;
 pub mod oracle;
+pub mod parallel;
 pub mod owner;
 pub mod predicate;
 pub mod schema;
@@ -47,4 +48,4 @@ pub use schema::{AttrId, Schema, TupleId};
 pub use sql::{parse as parse_sql, ParsedQuery, SqlError};
 pub use table::PlainTable;
 pub use trapdoor::{EncryptedPredicate, PredicateKind};
-pub use trusted::{TmConfig, TrustedMachine};
+pub use trusted::{QpfSession, TmConfig, TrustedMachine};

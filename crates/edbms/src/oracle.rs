@@ -7,6 +7,7 @@
 //! QPF-use counter exposed alongside is the paper's primary cost metric.
 
 use crate::encrypted::EncryptedTable;
+use crate::parallel;
 use crate::schema::TupleId;
 use crate::trapdoor::{EncryptedPredicate, PredicateKind};
 use crate::trusted::TrustedMachine;
@@ -19,6 +20,21 @@ pub trait SelectionOracle {
 
     /// Evaluates Θ(`pred`, tuple `t`). Every call costs one QPF use.
     fn eval(&self, pred: &Self::Pred, t: TupleId) -> bool;
+
+    /// Batch form of [`SelectionOracle::eval`]: clears `out`, then fills it
+    /// with Θ(`pred`, `t`) for each `t` of `tuples`, in input order.
+    ///
+    /// Contract: element-wise identical to calling `eval` per tuple, and
+    /// costs exactly `tuples.len()` QPF uses — implementations may hoist
+    /// per-predicate setup out of the loop or evaluate tuples in parallel,
+    /// but results and counts must not depend on batching or thread count.
+    fn eval_batch(&self, pred: &Self::Pred, tuples: &[TupleId], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(tuples.len());
+        for &t in tuples {
+            out.push(self.eval(pred, t));
+        }
+    }
 
     /// SP-visible shape of the trapdoor (comparison vs BETWEEN).
     fn kind_of(&self, pred: &Self::Pred) -> PredicateKind;
@@ -43,13 +59,28 @@ pub trait SelectionOracle {
 pub struct SpOracle<'a> {
     table: &'a EncryptedTable,
     tm: &'a TrustedMachine,
+    /// Worker-count override for [`SelectionOracle::eval_batch`];
+    /// `None` defers to the `PRKB_THREADS` environment variable.
+    threads: Option<usize>,
 }
 
 impl<'a> SpOracle<'a> {
     /// Pairs an encrypted table with the trusted machine that can evaluate
     /// trapdoors over it.
     pub fn new(table: &'a EncryptedTable, tm: &'a TrustedMachine) -> Self {
-        SpOracle { table, tm }
+        SpOracle { table, tm, threads: None }
+    }
+
+    /// Sets an explicit worker count for batch evaluation, overriding the
+    /// `PRKB_THREADS` environment variable. `1` forces sequential batches.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The batch-evaluation worker override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
     }
 
     /// The underlying table.
@@ -72,6 +103,53 @@ impl SelectionOracle for SpOracle<'_> {
             .cell(pred.attr(), t)
             .expect("tuple id within table bounds");
         self.tm.qpf(pred, cell).expect("well-formed cell and trapdoor")
+    }
+
+    /// Lock-hoisted batch evaluation: one [`TrustedMachine::session`] per
+    /// batch resolves the value cipher and decoded trapdoor (one lock
+    /// round-trip instead of 3·n), per-tuple evaluation is lock-free, and
+    /// the QPF counter is settled with a single atomic add of
+    /// `tuples.len()`. Batches of at least
+    /// [`parallel::MIN_PARALLEL_BATCH`] tuples are split across scoped
+    /// worker threads when the oracle (or `PRKB_THREADS`) asks for more
+    /// than one; chunks are carved and written back in input order, so the
+    /// output is bit-identical at every thread count.
+    fn eval_batch(&self, pred: &EncryptedPredicate, tuples: &[TupleId], out: &mut Vec<bool>) {
+        out.clear();
+        if tuples.is_empty() {
+            return;
+        }
+        let session = self.tm.session(pred).expect("well-formed trapdoor");
+        let workers = parallel::effective_threads(self.threads, tuples.len());
+        if workers <= 1 {
+            out.reserve(tuples.len());
+            for &t in tuples {
+                let cell = self
+                    .table
+                    .cell(pred.attr(), t)
+                    .expect("tuple id within table bounds");
+                out.push(session.eval(cell).expect("well-formed cell and trapdoor"));
+            }
+        } else {
+            out.resize(tuples.len(), false);
+            let chunk = tuples.len().div_ceil(workers);
+            let session = &session;
+            let oracle = *self;
+            std::thread::scope(|s| {
+                for (ins, outs) in tuples.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (&t, o) in ins.iter().zip(outs.iter_mut()) {
+                            let cell = oracle
+                                .table
+                                .cell(pred.attr(), t)
+                                .expect("tuple id within table bounds");
+                            *o = session.eval(cell).expect("well-formed cell and trapdoor");
+                        }
+                    });
+                }
+            });
+        }
+        session.settle(tuples.len() as u64);
     }
 
     fn kind_of(&self, pred: &EncryptedPredicate) -> PredicateKind {

@@ -1,0 +1,71 @@
+//! Thread-count policy for batched QPF evaluation.
+//!
+//! Batch evaluation ([`crate::SelectionOracle::eval_batch`]) splits large
+//! batches across `std::thread::scope` workers. The worker count comes from,
+//! in priority order:
+//!
+//! 1. an explicit override on the oracle (e.g.
+//!    [`crate::SpOracle::with_threads`]),
+//! 2. the `PRKB_THREADS` environment variable (read once per process),
+//! 3. the sequential default of 1.
+//!
+//! Parallelism never changes results or QPF accounting: batches are chunked
+//! in input order, reassembled in input order, and the use counter is
+//! settled with a single atomic add for the whole batch, so winners, splits,
+//! and counts are byte-identical at every thread count.
+
+use std::sync::OnceLock;
+
+/// Smallest batch worth spawning threads for: below this the per-thread
+/// setup cost dominates any decrypt/work-factor parallelism.
+pub const MIN_PARALLEL_BATCH: usize = 256;
+
+/// Hard cap on workers per batch, to keep `PRKB_THREADS=99999` from
+/// degenerating into thread-spawn thrash.
+pub const MAX_THREADS: usize = 64;
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PRKB_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(1, |n| n.clamp(1, MAX_THREADS))
+    })
+}
+
+/// Resolves the worker count for a batch of `batch_len` tuples given an
+/// optional per-oracle override. Returns at least 1 and never more workers
+/// than tuples.
+pub fn effective_threads(override_threads: Option<usize>, batch_len: usize) -> usize {
+    let configured = override_threads.map_or_else(env_threads, |n| n.clamp(1, MAX_THREADS));
+    if configured <= 1 || batch_len < MIN_PARALLEL_BATCH {
+        1
+    } else {
+        configured.min(batch_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_is_clamped() {
+        assert_eq!(effective_threads(Some(4), 100_000), 4);
+        assert_eq!(effective_threads(Some(0), 100_000), 1);
+        assert_eq!(effective_threads(Some(1 << 20), 100_000), MAX_THREADS);
+    }
+
+    #[test]
+    fn small_batches_stay_sequential() {
+        assert_eq!(effective_threads(Some(8), MIN_PARALLEL_BATCH - 1), 1);
+        assert_eq!(effective_threads(Some(8), MIN_PARALLEL_BATCH), 8);
+    }
+
+    #[test]
+    fn workers_never_exceed_tuples() {
+        assert_eq!(effective_threads(Some(64), 300), 64.min(300));
+        assert_eq!(effective_threads(Some(64), 257), 64);
+    }
+}

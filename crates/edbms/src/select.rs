@@ -9,34 +9,40 @@
 use crate::oracle::SelectionOracle;
 use crate::schema::TupleId;
 
-/// Linear scan: evaluates `pred` on every live tuple.
+/// Linear scan: evaluates `pred` on every live tuple, as one batch.
+///
+/// Every live tuple is evaluated unconditionally, so the whole scan is a
+/// single [`SelectionOracle::eval_batch`] — same answers and QPF count as
+/// the per-tuple loop, minus the per-tuple lock traffic.
 pub fn linear_scan<O: SelectionOracle>(oracle: &O, pred: &O::Pred) -> Vec<TupleId> {
-    let mut out = Vec::new();
-    for t in 0..oracle.n_slots() as TupleId {
-        if oracle.is_live(t) && oracle.eval(pred, t) {
-            out.push(t);
-        }
-    }
-    out
+    let live: Vec<TupleId> =
+        (0..oracle.n_slots() as TupleId).filter(|&t| oracle.is_live(t)).collect();
+    let mut verdicts = Vec::new();
+    oracle.eval_batch(pred, &live, &mut verdicts);
+    live.into_iter().zip(verdicts).filter_map(|(t, v)| v.then_some(t)).collect()
 }
 
-/// Conjunctive linear scan with per-tuple short-circuit: a tuple is in the
-/// result iff it satisfies *all* predicates; evaluation of a tuple stops at
-/// the first failing predicate.
+/// Conjunctive scan, batched predicate-by-predicate over survivors: a tuple
+/// is in the result iff it satisfies *all* predicates, and a tuple stops
+/// being evaluated at the first failing predicate.
+///
+/// This is the batched form of the per-tuple short-circuit loop: predicate
+/// `p_i` is evaluated on exactly the tuples that passed `p_0..p_{i-1}`, so
+/// the QPF count matches the paper's footnote-5 "up to 2dn" accounting
+/// use for use.
 pub fn conjunctive_scan<O: SelectionOracle>(oracle: &O, preds: &[O::Pred]) -> Vec<TupleId> {
-    let mut out = Vec::new();
-    'tuples: for t in 0..oracle.n_slots() as TupleId {
-        if !oracle.is_live(t) {
-            continue;
+    let mut survivors: Vec<TupleId> =
+        (0..oracle.n_slots() as TupleId).filter(|&t| oracle.is_live(t)).collect();
+    let mut verdicts = Vec::new();
+    for p in preds {
+        if survivors.is_empty() {
+            break;
         }
-        for p in preds {
-            if !oracle.eval(p, t) {
-                continue 'tuples;
-            }
-        }
-        out.push(t);
+        oracle.eval_batch(p, &survivors, &mut verdicts);
+        let mut keep = verdicts.iter().copied();
+        survivors.retain(|_| keep.next().unwrap());
     }
-    out
+    survivors
 }
 
 #[cfg(test)]

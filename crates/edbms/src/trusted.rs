@@ -37,6 +37,16 @@ enum DecodedPred {
     Between { lo: u64, hi: u64 },
 }
 
+impl DecodedPred {
+    #[inline]
+    fn matches(self, value: u64) -> bool {
+        match self {
+            DecodedPred::Comparison { op, bound } => op.eval(value, bound),
+            DecodedPred::Between { lo, hi } => lo <= value && value <= hi,
+        }
+    }
+}
+
 /// The trusted machine. Thread-safe: all interior state is behind locks or
 /// atomics so concurrent scans can share one TM.
 pub struct TrustedMachine {
@@ -81,10 +91,22 @@ impl TrustedMachine {
         self.emulated_work();
         let value = self.decrypt_cell_internal(pred.table(), pred.attr(), cell)?;
         let decoded = self.decode(pred)?;
-        Ok(match decoded {
-            DecodedPred::Comparison { op, bound } => op.eval(value, bound),
-            DecodedPred::Between { lo, hi } => lo <= value && value <= hi,
-        })
+        Ok(decoded.matches(value))
+    }
+
+    /// Opens a batch-evaluation session for `pred`: resolves the value
+    /// cipher and the decoded trapdoor once, so per-tuple evaluation runs
+    /// without touching any TM lock. The session does NOT advance the
+    /// QPF-use counter per call — the batch driver settles the whole batch
+    /// with one [`QpfSession::settle`], which keeps counts identical to
+    /// per-tuple [`TrustedMachine::qpf`] while avoiding 3·n lock round-trips.
+    ///
+    /// # Errors
+    /// Fails on a malformed trapdoor.
+    pub fn session(&self, pred: &EncryptedPredicate) -> Result<QpfSession<'_>, EdbmsError> {
+        let cipher = self.value_cipher(pred.table(), pred.attr());
+        let decoded = self.decode(pred)?;
+        Ok(QpfSession { tm: self, cipher, decoded })
     }
 
     /// Confirmation path used by index competitors (e.g. Logarithmic-SRC-i's
@@ -120,7 +142,21 @@ impl TrustedMachine {
                 }
             }
         }
-        // Slow path: derive and cache ciphers for this (table, attr).
+        Ok(self.value_cipher(table, attr).decrypt_slice(cell)?)
+    }
+
+    /// Returns (deriving and caching on first use) the value cipher for
+    /// `(table, attr)`. Cloning a cipher is copying key material — cheap
+    /// relative to one decryption.
+    fn value_cipher(&self, table: &str, attr: AttrId) -> ValueCipher {
+        {
+            let ciphers = self.value_ciphers.read();
+            if let Some(per_attr) = ciphers.get(table) {
+                if let Some(c) = per_attr.get(attr as usize) {
+                    return c.clone();
+                }
+            }
+        }
         let mut ciphers = self.value_ciphers.write();
         let per_attr = ciphers.entry(table.to_string()).or_default();
         while per_attr.len() <= attr as usize {
@@ -130,7 +166,7 @@ impl TrustedMachine {
                 self.cfg.suite,
             ));
         }
-        Ok(per_attr[attr as usize].decrypt_slice(cell)?)
+        per_attr[attr as usize].clone()
     }
 
     fn trapdoor_cipher(&self, table: &str, attr: AttrId) -> ValueCipher {
@@ -188,6 +224,46 @@ impl TrustedMachine {
             // Keep the work observable so the optimizer cannot elide it.
             std::hint::black_box(acc);
         }
+    }
+}
+
+/// A per-(predicate, table) evaluation handle opened by
+/// [`TrustedMachine::session`].
+///
+/// Holds a private copy of the value cipher and the decoded trapdoor, so
+/// [`QpfSession::eval`] is lock-free: it pays only the real per-tuple cost
+/// (emulated enclave work + decrypt + compare). Sessions are `Sync` — one
+/// session can be shared by every worker thread of a batch.
+///
+/// Evaluations through a session are not counted individually; the batch
+/// driver must call [`QpfSession::settle`] with the number of evaluations
+/// performed so the TM's QPF-use counter matches per-tuple accounting
+/// exactly.
+pub struct QpfSession<'a> {
+    tm: &'a TrustedMachine,
+    cipher: ValueCipher,
+    decoded: DecodedPred,
+}
+
+impl QpfSession<'_> {
+    /// Evaluates the session's predicate against one encrypted cell.
+    /// Same semantics and per-call work as [`TrustedMachine::qpf`], minus
+    /// the counter bump (see [`QpfSession::settle`]).
+    ///
+    /// # Errors
+    /// Fails on corrupted ciphertexts.
+    #[inline]
+    pub fn eval(&self, cell: &[u8]) -> Result<bool, EdbmsError> {
+        self.tm.emulated_work();
+        let value = self.cipher.decrypt_slice(cell)?;
+        Ok(self.decoded.matches(value))
+    }
+
+    /// Credits `uses` evaluations to the TM's QPF-use counter in one atomic
+    /// add. Call once per batch with the exact number of [`QpfSession::eval`]
+    /// calls made.
+    pub fn settle(&self, uses: u64) {
+        self.tm.qpf_uses.fetch_add(uses, Ordering::Relaxed);
     }
 }
 
@@ -267,6 +343,33 @@ mod tests {
             .trapdoor("other", &Predicate::cmp(0, ComparisonOp::Gt, 1), &mut rng)
             .unwrap();
         assert!(tm.qpf(&p, enc.cell(0, 0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn session_agrees_with_qpf_and_settles_in_one_add() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let owner = DataOwner::with_seed(6);
+        let plain = PlainTable::single_column("t", "x", (0..50).collect());
+        let enc = owner.encrypt_table(&plain, &mut rng);
+        let tm = owner.trusted_machine(TmConfig::default());
+        let p = owner
+            .trapdoor("t", &Predicate::between(0, 10, 30), &mut rng)
+            .unwrap();
+        let session = tm.session(&p).unwrap();
+        assert_eq!(tm.qpf_uses(), 0, "opening a session is not a QPF use");
+        let mut n = 0u64;
+        for t in 0..50 {
+            let cell = enc.cell(0, t).unwrap();
+            let via_session = session.eval(cell).unwrap();
+            n += 1;
+            assert_eq!(via_session, (10..=30).contains(&plain.column(0).unwrap()[t as usize]));
+        }
+        assert_eq!(tm.qpf_uses(), 0, "session evals are settled, not streamed");
+        session.settle(n);
+        assert_eq!(tm.qpf_uses(), 50);
+        // And the per-tuple path still counts as before.
+        assert!(tm.qpf(&p, enc.cell(0, 15).unwrap()).unwrap());
+        assert_eq!(tm.qpf_uses(), 51);
     }
 
     #[test]

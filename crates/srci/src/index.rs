@@ -313,18 +313,29 @@ impl SrciClient {
 }
 
 /// Confirms candidates through the QPF: keeps tuples satisfying **all**
-/// trapdoors, short-circuiting per tuple. This is the cost the paper charges
-/// SRC-i for its false positives.
+/// trapdoors, with per-tuple short-circuit. This is the cost the paper
+/// charges SRC-i for its false positives.
+///
+/// Batched predicate-by-predicate over the survivors of the previous
+/// trapdoor, which spends exactly the same QPF uses as the tuple-major
+/// short-circuit loop while amortizing TM lock traffic per batch.
 pub fn confirm<O: SelectionOracle>(
     oracle: &O,
     preds: &[O::Pred],
     candidates: &[TupleId],
 ) -> Vec<TupleId> {
-    candidates
-        .iter()
-        .copied()
-        .filter(|&t| oracle.is_live(t) && preds.iter().all(|p| oracle.eval(p, t)))
-        .collect()
+    let mut survivors: Vec<TupleId> =
+        candidates.iter().copied().filter(|&t| oracle.is_live(t)).collect();
+    let mut verdicts = Vec::new();
+    for p in preds {
+        if survivors.is_empty() {
+            break;
+        }
+        oracle.eval_batch(p, &survivors, &mut verdicts);
+        let mut keep = verdicts.iter().copied();
+        survivors.retain(|_| keep.next().expect("one verdict per survivor"));
+    }
+    survivors
 }
 
 #[cfg(test)]

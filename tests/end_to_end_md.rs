@@ -173,6 +173,7 @@ fn md_update_policies_stay_consistent_with_plaintext() {
         let mut engine: PrkbEngine<_> = PrkbEngine::new(EngineConfig {
             update: true,
             md_policy: policy,
+            threads: None,
         });
         engine.init_attr(0, 2_000);
         engine.init_attr(1, 2_000);
