@@ -16,7 +16,7 @@
 use crate::knowledge::{BetweenEdge, Knowledge, Separator};
 use crate::selection::{QueryStats, Selection};
 use crate::traits::SpPredicate;
-use prkb_edbms::{SelectionOracle, TupleId};
+use prkb_edbms::{OracleError, SelectionOracle, TupleId};
 use rand::Rng;
 
 /// Per-rank full-scan outcome.
@@ -27,6 +27,12 @@ struct RankScan {
 }
 
 /// Processes one BETWEEN trapdoor against the knowledge base.
+///
+/// Infallible wrapper over [`try_process_between`].
+///
+/// # Panics
+/// Panics on oracle failure — fault-tolerant paths use
+/// [`try_process_between`].
 pub fn process_between<O, R>(
     kb: &mut Knowledge<O::Pred>,
     oracle: &O,
@@ -34,6 +40,31 @@ pub fn process_between<O, R>(
     rng: &mut R,
     update: bool,
 ) -> Selection
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+    R: Rng,
+{
+    match try_process_between(kb, oracle, pred, rng, update) {
+        Ok(sel) => sel,
+        Err(e) => panic!("oracle failure: {e}"),
+    }
+}
+
+/// Processes one BETWEEN trapdoor against the knowledge base.
+///
+/// # Errors
+/// Propagates the first oracle failure. **Abort-safe:** the transition hunt,
+/// boundary scans, and overflow batch are all evaluated before
+/// `apply_between_updates` commits any split, so on error `kb` is
+/// byte-identical to its pre-query state.
+pub fn try_process_between<O, R>(
+    kb: &mut Knowledge<O::Pred>,
+    oracle: &O,
+    pred: &O::Pred,
+    rng: &mut R,
+    update: bool,
+) -> Result<Selection, OracleError>
 where
     O: SelectionOracle,
     O::Pred: SpPredicate,
@@ -51,7 +82,7 @@ where
         // Phase 1: hunt for a positive sample, rank by rank.
         let mut first_true: Option<usize> = None;
         for rank in 0..k {
-            if oracle.eval(pred, kb.pop().sample_at(rank, rng)) {
+            if oracle.try_eval(pred, kb.pop().sample_at(rank, rng))? {
                 first_true = Some(rank);
                 break;
             }
@@ -70,7 +101,7 @@ where
 
                 let high_lo = if r == k - 1 {
                     k - 1
-                } else if oracle.eval(pred, kb.pop().sample_at(k - 1, rng)) {
+                } else if oracle.try_eval(pred, kb.pop().sample_at(k - 1, rng))? {
                     // Range reaches the top partition.
                     scan_set.push(k - 1);
                     k - 1
@@ -79,7 +110,7 @@ where
                     let mut hi = k - 1;
                     while hi - lo > 1 {
                         let m = (lo + hi) / 2;
-                        if oracle.eval(pred, kb.pop().sample_at(m, rng)) {
+                        if oracle.try_eval(pred, kb.pop().sample_at(m, rng))? {
                             lo = m;
                         } else {
                             hi = m;
@@ -98,14 +129,14 @@ where
                 middle_true.extend((r + 1..high_lo).filter(|q| !scan_set.contains(q)));
 
                 for &rank in &scan_set {
-                    scans.push(scan_rank(kb, oracle, pred, rank));
+                    scans.push(scan_rank(kb, oracle, pred, rank)?);
                 }
             }
             None => {
                 // No positive sample anywhere: the range may still hide
                 // inside one partition — fall back to a full scan.
                 for rank in 0..k {
-                    scans.push(scan_rank(kb, oracle, pred, rank));
+                    scans.push(scan_rank(kb, oracle, pred, rank)?);
                 }
             }
         }
@@ -122,16 +153,22 @@ where
     let overflow: Vec<TupleId> = kb.overflow().iter().map(|e| e.tuple).collect();
     if !overflow.is_empty() {
         let mut verdicts = Vec::new();
-        oracle.eval_batch(pred, &overflow, &mut verdicts);
-        tuples.extend(overflow.into_iter().zip(verdicts).filter_map(|(t, v)| v.then_some(t)));
+        oracle.try_eval_batch(pred, &overflow, &mut verdicts)?;
+        tuples.extend(
+            overflow
+                .into_iter()
+                .zip(verdicts)
+                .filter_map(|(t, v)| v.then_some(t)),
+        );
     }
 
+    // ---- Commit phase: infallible, no oracle calls past this point. ----
     let mut splits = 0usize;
     if update && !scans.is_empty() {
         splits = apply_between_updates(kb, pred, &scans, &middle_true);
     }
 
-    Selection {
+    Ok(Selection {
         tuples,
         stats: QueryStats {
             qpf_uses: oracle.qpf_uses() - qpf_before,
@@ -139,7 +176,7 @@ where
             k_after: kb.k(),
             splits,
         },
-    }
+    })
 }
 
 fn scan_rank<O: SelectionOracle>(
@@ -147,7 +184,7 @@ fn scan_rank<O: SelectionOracle>(
     oracle: &O,
     pred: &O::Pred,
     rank: usize,
-) -> RankScan
+) -> Result<RankScan, OracleError>
 where
     O::Pred: SpPredicate,
 {
@@ -155,7 +192,7 @@ where
     // single batch gives the exact per-tuple QPF count.
     let members = kb.pop().members_at(rank);
     let mut verdicts = Vec::new();
-    oracle.eval_batch(pred, members, &mut verdicts);
+    oracle.try_eval_batch(pred, members, &mut verdicts)?;
     let mut true_half = Vec::new();
     let mut false_half = Vec::new();
     for (&t, v) in members.iter().zip(verdicts) {
@@ -165,11 +202,11 @@ where
             false_half.push(t);
         }
     }
-    RankScan {
+    Ok(RankScan {
         rank,
         true_half,
         false_half,
-    }
+    })
 }
 
 /// Splits the (≤ 2) mixed boundary partitions. Returns the number of splits.
@@ -187,8 +224,7 @@ fn apply_between_updates<P: SpPredicate>(
             .filter(|s| !s.true_half.is_empty())
             .map(|s| s.rank),
     );
-    let (Some(&min_true), Some(&max_true)) =
-        (true_ranks.iter().min(), true_ranks.iter().max())
+    let (Some(&min_true), Some(&max_true)) = (true_ranks.iter().min(), true_ranks.iter().max())
     else {
         return 0; // nothing satisfied: no refinement possible
     };
@@ -309,7 +345,10 @@ mod tests {
         let p = Predicate::cmp(0, ComparisonOp::Lt, 300);
         let sel = process_comparison(&mut kb, &oracle, &p, &mut rng, true);
         assert_eq!(sel.sorted(), oracle.expected_select(&p));
-        assert_eq!(sel.stats.splits, 0, "cut at 300 aligns with BETWEEN's low cut");
+        assert_eq!(
+            sel.stats.splits, 0,
+            "cut at 300 aligns with BETWEEN's low cut"
+        );
         kb.check_invariants();
     }
 
@@ -364,7 +403,11 @@ mod tests {
             let hi = lo + 20 + (i * 7) % 60;
             let p = Predicate::between(0, lo, hi);
             let sel = process_between(&mut kb, &oracle, &p, &mut rng, true);
-            assert_eq!(sel.sorted(), oracle.expected_select(&p), "range [{lo},{hi}]");
+            assert_eq!(
+                sel.sorted(),
+                oracle.expected_select(&p),
+                "range [{lo},{hi}]"
+            );
             kb.check_invariants();
         }
         assert!(kb.k() > 5, "k = {}", kb.k());

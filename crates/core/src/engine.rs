@@ -5,17 +5,53 @@
 //! trapdoors (comparison vs BETWEEN, single vs multi-dimensional), and
 //! keeps the index maintained across inserts and deletes.
 
-use crate::between::process_between;
-use crate::insert::{insert_tuple, InsertOutcome};
+use crate::between::try_process_between;
+use crate::insert::{apply_insert, decide_insert, InsertDecision, InsertOutcome};
 use crate::knowledge::Knowledge;
-use crate::md::{process_range_md, MdDim, MdUpdatePolicy};
-use crate::sd::process_comparison;
-use crate::sdplus::process_range_sdplus;
+use crate::md::{try_process_range_md, MdDim, MdUpdatePolicy};
+use crate::sd::try_process_comparison;
+use crate::sdplus::try_process_range_sdplus;
 use crate::selection::Selection;
 use crate::traits::SpPredicate;
-use prkb_edbms::{AttrId, PredicateKind, SelectionOracle, TupleId};
+use prkb_edbms::{AttrId, OracleError, PredicateKind, SelectionOracle, TupleId};
 use rand::Rng;
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a fallible engine entry point gave up.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The SP↔TM boundary failed (transport, decryption, circuit breaker).
+    Oracle(OracleError),
+    /// A trapdoor references an attribute that was never initialized —
+    /// indexing decisions are made at upload time in this engine.
+    AttrNotInitialized(AttrId),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Oracle(e) => write!(f, "oracle failure: {e}"),
+            QueryError::AttrNotInitialized(a) => write!(f, "attribute {a} not initialized"),
+        }
+    }
+}
+
+impl Error for QueryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QueryError::Oracle(e) => Some(e),
+            QueryError::AttrNotInitialized(_) => None,
+        }
+    }
+}
+
+impl From<OracleError> for QueryError {
+    fn from(e: OracleError) -> Self {
+        QueryError::Oracle(e)
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -79,10 +115,37 @@ impl<P: SpPredicate> PrkbEngine<P> {
     /// Processes a single-predicate selection, dispatching on the trapdoor's
     /// SP-visible kind (comparison vs BETWEEN).
     ///
+    /// Infallible wrapper over [`try_select`](Self::try_select).
+    ///
     /// # Panics
     /// Panics if the predicate's attribute was never initialized — indexing
-    /// decisions are made at upload time in this engine.
+    /// decisions are made at upload time in this engine — or on oracle
+    /// failure.
     pub fn select<O, R>(&mut self, oracle: &O, pred: &P, rng: &mut R) -> Selection
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        match self.try_select(oracle, pred, rng) {
+            Ok(sel) => sel,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Processes a single-predicate selection, dispatching on the trapdoor's
+    /// SP-visible kind (comparison vs BETWEEN).
+    ///
+    /// # Errors
+    /// [`QueryError::AttrNotInitialized`] for an unindexed attribute;
+    /// [`QueryError::Oracle`] on SP↔TM failure. Abort-safe: the
+    /// single-dimension pipelines evaluate every trapdoor before committing
+    /// any refinement, so on error the attribute's knowledge is untouched.
+    pub fn try_select<O, R>(
+        &mut self,
+        oracle: &O,
+        pred: &P,
+        rng: &mut R,
+    ) -> Result<Selection, QueryError>
     where
         O: SelectionOracle<Pred = P>,
         R: Rng,
@@ -91,35 +154,68 @@ impl<P: SpPredicate> PrkbEngine<P> {
         let kb = self
             .kbs
             .get_mut(&pred.attr())
-            .unwrap_or_else(|| panic!("attribute {} not initialized", pred.attr()));
-        match oracle.kind_of(pred) {
-            PredicateKind::Comparison => process_comparison(kb, oracle, pred, rng, update),
-            PredicateKind::Between => process_between(kb, oracle, pred, rng, update),
-        }
+            .ok_or(QueryError::AttrNotInitialized(pred.attr()))?;
+        Ok(match oracle.kind_of(pred) {
+            PredicateKind::Comparison => try_process_comparison(kb, oracle, pred, rng, update)?,
+            PredicateKind::Between => try_process_between(kb, oracle, pred, rng, update)?,
+        })
     }
 
     /// Processes a d-dimensional range query with PRKB(MD) (paper §6.2).
     ///
     /// `dims` holds the two comparison trapdoors of each dimension.
     ///
+    /// Infallible wrapper over
+    /// [`try_select_range_md`](Self::try_select_range_md).
+    ///
     /// # Panics
-    /// Panics on uninitialized attributes or duplicate dimensions.
+    /// Panics on uninitialized attributes, duplicate dimensions, or oracle
+    /// failure.
     pub fn select_range_md<O, R>(&mut self, oracle: &O, dims: &[[P; 2]], rng: &mut R) -> Selection
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        match self.try_select_range_md(oracle, dims, rng) {
+            Ok(sel) => sel,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Processes a d-dimensional range query with PRKB(MD) (paper §6.2).
+    ///
+    /// # Errors
+    /// See [`try_select`](Self::try_select). Abort-safe: PRKB(MD) stages
+    /// every split and commits only after the whole query has evaluated.
+    ///
+    /// # Panics
+    /// Panics on duplicate dimensions (programmer error).
+    pub fn try_select_range_md<O, R>(
+        &mut self,
+        oracle: &O,
+        dims: &[[P; 2]],
+        rng: &mut R,
+    ) -> Result<Selection, QueryError>
     where
         O: SelectionOracle<Pred = P>,
         R: Rng,
     {
         let policy = self.config.md_policy;
         self.with_dims(dims, |md_dims| {
-            process_range_md(md_dims, oracle, rng, policy)
-        })
+            try_process_range_md(md_dims, oracle, rng, policy)
+        })?
+        .map_err(QueryError::Oracle)
     }
 
     /// Processes a d-dimensional range query with the naive PRKB(SD+)
     /// extension (paper §6, baseline).
     ///
+    /// Infallible wrapper over
+    /// [`try_select_range_sdplus`](Self::try_select_range_sdplus).
+    ///
     /// # Panics
-    /// Panics on uninitialized attributes or duplicate dimensions.
+    /// Panics on uninitialized attributes, duplicate dimensions, or oracle
+    /// failure.
     pub fn select_range_sdplus<O, R>(
         &mut self,
         oracle: &O,
@@ -130,21 +226,66 @@ impl<P: SpPredicate> PrkbEngine<P> {
         O: SelectionOracle<Pred = P>,
         R: Rng,
     {
-        let update = self.config.update;
-        self.with_dims(dims, |md_dims| {
-            process_range_sdplus(md_dims, oracle, rng, update)
-        })
+        match self.try_select_range_sdplus(oracle, dims, rng) {
+            Ok(sel) => sel,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    fn with_dims<T>(&mut self, dims: &[[P; 2]], f: impl FnOnce(&mut [MdDim<P>]) -> T) -> T {
+    /// Processes a d-dimensional range query with the naive PRKB(SD+)
+    /// extension (paper §6, baseline).
+    ///
+    /// # Errors
+    /// See [`try_select`](Self::try_select). Abort-safe: SD+ snapshots every
+    /// dimension's knowledge and restores it wholesale on error.
+    ///
+    /// # Panics
+    /// Panics on duplicate dimensions (programmer error).
+    pub fn try_select_range_sdplus<O, R>(
+        &mut self,
+        oracle: &O,
+        dims: &[[P; 2]],
+        rng: &mut R,
+    ) -> Result<Selection, QueryError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        let update = self.config.update;
+        self.with_dims(dims, |md_dims| {
+            try_process_range_sdplus(md_dims, oracle, rng, update)
+        })?
+        .map_err(QueryError::Oracle)
+    }
+
+    /// Moves the named attributes' knowledge out of the map, runs `f`, and
+    /// reinserts the knowledge unconditionally — also when `f` reports a
+    /// failure, so an abort never strands an attribute's index.
+    fn with_dims<T>(
+        &mut self,
+        dims: &[[P; 2]],
+        f: impl FnOnce(&mut [MdDim<P>]) -> T,
+    ) -> Result<T, QueryError> {
+        // Validate before removing anything: a missing attribute must leave
+        // the map untouched.
+        for pair in dims {
+            let attr = pair[0].attr();
+            assert_eq!(
+                attr,
+                pair[1].attr(),
+                "a dimension's trapdoors must share an attribute"
+            );
+            if !self.kbs.contains_key(&attr) {
+                return Err(QueryError::AttrNotInitialized(attr));
+            }
+        }
         let mut md_dims: Vec<MdDim<P>> = Vec::with_capacity(dims.len());
         for pair in dims {
             let attr = pair[0].attr();
-            assert_eq!(attr, pair[1].attr(), "a dimension's trapdoors must share an attribute");
             let knowledge = self
                 .kbs
                 .remove(&attr)
-                .unwrap_or_else(|| panic!("attribute {attr} not initialized or listed twice"));
+                .unwrap_or_else(|| panic!("attribute {attr} listed in two dimensions"));
             md_dims.push(MdDim {
                 knowledge,
                 preds: pair.clone(),
@@ -154,7 +295,7 @@ impl<P: SpPredicate> PrkbEngine<P> {
         for (dim, pair) in md_dims.into_iter().zip(dims) {
             self.kbs.insert(pair[0].attr(), dim.knowledge);
         }
-        out
+        Ok(out)
     }
 
     /// Processes an arbitrary conjunction of trapdoors — the execution
@@ -167,8 +308,73 @@ impl<P: SpPredicate> PrkbEngine<P> {
     /// pipeline, and the result sets are intersected.
     ///
     /// # Panics
-    /// Panics if a referenced attribute was never initialized.
+    /// Panics if a referenced attribute was never initialized, or on oracle
+    /// failure. Infallible wrapper over
+    /// [`try_select_conjunction`](Self::try_select_conjunction).
     pub fn select_conjunction<O, R>(&mut self, oracle: &O, preds: &[P], rng: &mut R) -> Selection
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        match self.try_select_conjunction(oracle, preds, rng) {
+            Ok(sel) => sel,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`select_conjunction`](Self::select_conjunction).
+    ///
+    /// # Errors
+    /// See [`try_select`](Self::try_select). Abort-safe: the conjunction
+    /// commits refinements part by part (the MD grid, then each remaining
+    /// trapdoor), so every involved attribute's knowledge is snapshotted up
+    /// front and restored wholesale if any later part fails.
+    pub fn try_select_conjunction<O, R>(
+        &mut self,
+        oracle: &O,
+        preds: &[P],
+        rng: &mut R,
+    ) -> Result<Selection, QueryError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        let n = oracle.n_slots();
+        if preds.is_empty() {
+            let tuples = (0..n as TupleId).filter(|&t| oracle.is_live(t)).collect();
+            return Ok(Selection {
+                tuples,
+                ..Selection::default()
+            });
+        }
+
+        // Rollback snapshot of every attribute the conjunction can touch.
+        let saved: Vec<(AttrId, Knowledge<P>)> = {
+            let mut attrs: Vec<AttrId> = preds.iter().map(SpPredicate::attr).collect();
+            attrs.sort_unstable();
+            attrs.dedup();
+            attrs
+                .into_iter()
+                .filter_map(|a| self.kbs.get(&a).map(|kb| (a, kb.clone())))
+                .collect()
+        };
+        match self.conjunction_inner(oracle, preds, rng) {
+            Ok(sel) => Ok(sel),
+            Err(e) => {
+                for (attr, kb) in saved {
+                    self.kbs.insert(attr, kb);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn conjunction_inner<O, R>(
+        &mut self,
+        oracle: &O,
+        preds: &[P],
+        rng: &mut R,
+    ) -> Result<Selection, QueryError>
     where
         O: SelectionOracle<Pred = P>,
         R: Rng,
@@ -176,13 +382,6 @@ impl<P: SpPredicate> PrkbEngine<P> {
         use std::collections::BTreeMap;
 
         let n = oracle.n_slots();
-        if preds.is_empty() {
-            let tuples = (0..n as TupleId).filter(|&t| oracle.is_live(t)).collect();
-            return Selection {
-                tuples,
-                ..Selection::default()
-            };
-        }
         let qpf_before = oracle.qpf_uses();
         let k_before: usize = self.kbs.values().map(Knowledge::k).sum();
 
@@ -214,7 +413,7 @@ impl<P: SpPredicate> PrkbEngine<P> {
         let mut parts = 0u32;
         let mut splits = 0usize;
         if dims.len() >= 2 {
-            let sel = self.select_range_md(oracle, &dims, rng);
+            let sel = self.try_select_range_md(oracle, &dims, rng)?;
             splits += sel.stats.splits;
             parts += 1;
             for t in sel.tuples {
@@ -225,7 +424,7 @@ impl<P: SpPredicate> PrkbEngine<P> {
             singles.extend(dims.into_iter().flatten());
         }
         for p in singles {
-            let sel = self.select(oracle, &p, rng);
+            let sel = self.try_select(oracle, &p, rng)?;
             splits += sel.stats.splits;
             parts += 1;
             for t in sel.tuples {
@@ -236,7 +435,7 @@ impl<P: SpPredicate> PrkbEngine<P> {
         let tuples: Vec<TupleId> = (0..n as TupleId)
             .filter(|&t| hits[t as usize] == parts)
             .collect();
-        Selection {
+        Ok(Selection {
             tuples,
             stats: crate::selection::QueryStats {
                 qpf_uses: oracle.qpf_uses() - qpf_before,
@@ -244,22 +443,61 @@ impl<P: SpPredicate> PrkbEngine<P> {
                 k_after: self.kbs.values().map(Knowledge::k).sum(),
                 splits,
             },
-        }
+        })
     }
 
     /// Routes a freshly inserted tuple into every indexed attribute
     /// (paper §7.1; O(β lg k) QPF uses in total).
+    ///
+    /// Infallible wrapper over [`try_insert`](Self::try_insert).
+    ///
+    /// # Panics
+    /// Panics on oracle failure.
     pub fn insert<O>(&mut self, oracle: &O, t: TupleId) -> Vec<(AttrId, InsertOutcome)>
     where
         O: SelectionOracle<Pred = P>,
     {
-        let mut outcomes: Vec<(AttrId, InsertOutcome)> = self
-            .kbs
-            .iter_mut()
-            .map(|(&attr, kb)| (attr, insert_tuple(kb, oracle, t)))
-            .collect();
-        outcomes.sort_by_key(|(a, _)| *a);
-        outcomes
+        match self.try_insert(oracle, t) {
+            Ok(outcomes) => outcomes,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`insert`](Self::insert).
+    ///
+    /// # Errors
+    /// [`QueryError::Oracle`] on SP↔TM failure. Abort-safe: routing
+    /// decisions for *all* attributes are computed read-only first; the
+    /// knowledge bases are mutated only after every oracle call of the
+    /// whole insert has succeeded.
+    pub fn try_insert<O>(
+        &mut self,
+        oracle: &O,
+        t: TupleId,
+    ) -> Result<Vec<(AttrId, InsertOutcome)>, QueryError>
+    where
+        O: SelectionOracle<Pred = P>,
+    {
+        // Deterministic attribute order keeps the oracle call sequence (and
+        // with it any injected-fault schedule) reproducible across runs.
+        let mut attrs: Vec<AttrId> = self.kbs.keys().copied().collect();
+        attrs.sort_unstable();
+
+        // Decision phase: read-only, all oracle calls happen here.
+        let mut decisions: Vec<(AttrId, InsertDecision)> = Vec::with_capacity(attrs.len());
+        for &attr in &attrs {
+            let kb = &self.kbs[&attr];
+            decisions.push((attr, decide_insert(kb, oracle, t)?));
+        }
+
+        // Commit phase: infallible.
+        Ok(decisions
+            .into_iter()
+            .map(|(attr, decision)| {
+                let kb = self.kbs.get_mut(&attr).expect("attr enumerated above");
+                (attr, apply_insert(kb, t, decision))
+            })
+            .collect())
     }
 
     /// Removes a deleted tuple from every indexed attribute (paper §7.2).
@@ -353,11 +591,17 @@ mod tests {
         let outcomes = engine.insert(&oracle, t);
         assert_eq!(outcomes.len(), 2);
         let p = Predicate::cmp(0, ComparisonOp::Lt, 460);
-        assert_eq!(engine.select(&oracle, &p, &mut rng).sorted(), oracle.expected_select(&p));
+        assert_eq!(
+            engine.select(&oracle, &p, &mut rng).sorted(),
+            oracle.expected_select(&p)
+        );
 
         oracle.delete(t);
         engine.delete(t);
-        assert_eq!(engine.select(&oracle, &p, &mut rng).sorted(), oracle.expected_select(&p));
+        assert_eq!(
+            engine.select(&oracle, &p, &mut rng).sorted(),
+            oracle.expected_select(&p)
+        );
     }
 
     #[test]
@@ -366,7 +610,11 @@ mod tests {
         let base = engine.storage_bytes();
         let mut rng = StdRng::seed_from_u64(8);
         for bound in [100u64, 300, 500, 700, 900] {
-            engine.select(&oracle, &Predicate::cmp(0, ComparisonOp::Lt, bound), &mut rng);
+            engine.select(
+                &oracle,
+                &Predicate::cmp(0, ComparisonOp::Lt, bound),
+                &mut rng,
+            );
         }
         assert!(engine.storage_bytes() > base);
     }

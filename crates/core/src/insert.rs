@@ -9,7 +9,7 @@
 
 use crate::knowledge::{Knowledge, Side};
 use crate::traits::SpPredicate;
-use prkb_edbms::{SelectionOracle, TupleId};
+use prkb_edbms::{OracleError, SelectionOracle, TupleId};
 
 /// Where an inserted tuple ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,18 +30,87 @@ pub enum InsertOutcome {
 
 /// Routes tuple `t` into the knowledge base.
 ///
+/// Infallible wrapper over [`try_insert_tuple`].
+///
+/// # Panics
+/// Panics if `t` is already placed (callers insert each tuple once), or on
+/// oracle failure — fault-tolerant paths use [`try_insert_tuple`].
+pub fn insert_tuple<O>(kb: &mut Knowledge<O::Pred>, oracle: &O, t: TupleId) -> InsertOutcome
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+{
+    match try_insert_tuple(kb, oracle, t) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("oracle failure: {e}"),
+    }
+}
+
+/// Routes tuple `t` into the knowledge base.
+///
+/// # Errors
+/// Propagates the first oracle failure. **Abort-safe:** every separator
+/// probe happens in the read-only decision phase ([`decide_insert`]); the
+/// knowledge base is first mutated ([`apply_insert`]) after the last oracle
+/// call, so a failed insert leaves it untouched.
+///
 /// # Panics
 /// Panics if `t` is already placed (callers insert each tuple once).
-pub fn insert_tuple<O>(kb: &mut Knowledge<O::Pred>, oracle: &O, t: TupleId) -> InsertOutcome
+pub fn try_insert_tuple<O>(
+    kb: &mut Knowledge<O::Pred>,
+    oracle: &O,
+    t: TupleId,
+) -> Result<InsertOutcome, OracleError>
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+{
+    let decision = decide_insert(kb, oracle, t)?;
+    Ok(apply_insert(kb, t, decision))
+}
+
+/// A routing decision for one tuple, computed without touching the
+/// knowledge base. Feed to [`apply_insert`] on the same knowledge base the
+/// decision was computed against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertDecision {
+    /// The knowledge base was empty: open a fresh solo partition.
+    Solo,
+    /// The window narrowed to a single rank.
+    Place {
+        /// Rank of the receiving partition.
+        rank: usize,
+    },
+    /// The window could not be fully resolved: park in overflow.
+    Park {
+        /// Lowest candidate rank.
+        lo: usize,
+        /// Highest candidate rank.
+        hi: usize,
+    },
+}
+
+/// Read-only decision phase of an insert: binary-searches the separator
+/// trapdoors and reports where `t` belongs, spending all the QPF uses of
+/// the insert but mutating nothing.
+///
+/// # Errors
+/// Propagates the first oracle failure.
+///
+/// # Panics
+/// Panics if `t` is already placed (callers insert each tuple once).
+pub fn decide_insert<O>(
+    kb: &Knowledge<O::Pred>,
+    oracle: &O,
+    t: TupleId,
+) -> Result<InsertDecision, OracleError>
 where
     O: SelectionOracle,
     O::Pred: SpPredicate,
 {
     let k = kb.k();
     if k == 0 {
-        kb.pop_mut().ensure_slot(t);
-        kb.pop_mut().add_solo_partition(t);
-        return InsertOutcome::Placed { rank: 0 };
+        return Ok(InsertDecision::Solo);
     }
     assert!(
         kb.pop().locate(t).is_none(),
@@ -57,7 +126,7 @@ where
         let mut decided = false;
         for i in probe_order(mid, lo, hi) {
             let Some(sep) = kb.sep(i) else { continue };
-            let out = oracle.eval(sep.pred(), t);
+            let out = oracle.try_eval(sep.pred(), t)?;
             match sep.side_of(out) {
                 Side::Left => {
                     hi = i;
@@ -77,12 +146,34 @@ where
         }
     }
 
-    if lo == hi {
-        kb.place(t, lo);
-        InsertOutcome::Placed { rank: lo }
+    Ok(if lo == hi {
+        InsertDecision::Place { rank: lo }
     } else {
-        kb.park(t, lo, hi);
-        InsertOutcome::Parked { lo, hi }
+        InsertDecision::Park { lo, hi }
+    })
+}
+
+/// Commit phase of an insert: applies a decision from [`decide_insert`].
+/// Infallible — no oracle calls.
+pub fn apply_insert<P: SpPredicate>(
+    kb: &mut Knowledge<P>,
+    t: TupleId,
+    decision: InsertDecision,
+) -> InsertOutcome {
+    match decision {
+        InsertDecision::Solo => {
+            kb.pop_mut().ensure_slot(t);
+            kb.pop_mut().add_solo_partition(t);
+            InsertOutcome::Placed { rank: 0 }
+        }
+        InsertDecision::Place { rank } => {
+            kb.place(t, rank);
+            InsertOutcome::Placed { rank }
+        }
+        InsertDecision::Park { lo, hi } => {
+            kb.park(t, lo, hi);
+            InsertOutcome::Parked { lo, hi }
+        }
     }
 }
 
@@ -189,7 +280,10 @@ mod tests {
         let mut oracle = PlainOracle::single_column(vec![]);
         let mut kb: Knowledge<Predicate> = Knowledge::init(0);
         let t = oracle.insert(&[42]);
-        assert_eq!(insert_tuple(&mut kb, &oracle, t), InsertOutcome::Placed { rank: 0 });
+        assert_eq!(
+            insert_tuple(&mut kb, &oracle, t),
+            InsertOutcome::Placed { rank: 0 }
+        );
         assert_eq!(kb.k(), 1);
         kb.check_invariants();
     }

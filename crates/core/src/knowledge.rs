@@ -298,18 +298,37 @@ impl<P: SpPredicate> Knowledge<P> {
     /// alignment and overflow interval sanity.
     ///
     /// # Panics
-    /// Panics on any violation.
+    /// Panics on any violation. Untrusted input paths use the non-panicking
+    /// [`validate`](Self::validate) instead.
     pub fn check_invariants(&self) {
-        self.pop.check_invariants();
+        if let Err(what) = self.validate() {
+            panic!("PRKB invariant violated: {what}");
+        }
+    }
+
+    /// Non-panicking twin of [`check_invariants`](Self::check_invariants),
+    /// for rejecting untrusted input (e.g. snapshots read from disk).
+    ///
+    /// # Errors
+    /// A short description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        self.pop.validate()?;
         if self.pop.k() == 0 {
-            assert!(self.seps.is_empty());
-        } else {
-            assert_eq!(self.seps.len(), self.pop.k() - 1, "separator alignment");
+            if !self.seps.is_empty() {
+                return Err("separators on an empty POP");
+            }
+        } else if self.seps.len() != self.pop.k() - 1 {
+            return Err("separator alignment");
         }
         for e in &self.overflow {
-            assert!(e.lo <= e.hi && e.hi < self.pop.k(), "overflow interval");
-            assert!(self.pop.locate(e.tuple).is_none(), "parked tuple placed");
+            if e.lo > e.hi || e.hi >= self.pop.k() {
+                return Err("overflow interval");
+            }
+            if self.pop.locate(e.tuple).is_some() {
+                return Err("parked tuple placed");
+            }
         }
+        Ok(())
     }
 
     /// Mutable access for the processing modules within this crate.
@@ -380,7 +399,10 @@ mod tests {
         assert_eq!(kb.n_boundaries(), 1);
         assert!(matches!(
             kb.sep(0),
-            Some(Separator::Cmp { left_label: true, .. })
+            Some(Separator::Cmp {
+                left_label: true,
+                ..
+            })
         ));
         kb.check_invariants();
     }
@@ -394,7 +416,10 @@ mod tests {
         assert_eq!(kb.k(), 2);
         assert!(matches!(
             kb.sep(0),
-            Some(Separator::Cmp { left_label: false, .. })
+            Some(Separator::Cmp {
+                left_label: false,
+                ..
+            })
         ));
         kb.check_invariants();
     }
@@ -451,7 +476,14 @@ mod tests {
         kb.park(9, 0, 1);
         // Split rank 0: interval's hi at rank 1 shifts to 2; lo at 0 stays.
         kb.apply_split(0, vec![0], vec![1], Some(sep(3, true)));
-        assert_eq!(kb.overflow()[0], OverflowEntry { tuple: 9, lo: 0, hi: 2 });
+        assert_eq!(
+            kb.overflow()[0],
+            OverflowEntry {
+                tuple: 9,
+                lo: 0,
+                hi: 2
+            }
+        );
         kb.check_invariants();
     }
 
@@ -474,7 +506,14 @@ mod tests {
         kb.apply_split(1, vec![2, 3], vec![4, 5], Some(sep(9, true)));
         kb.park(9, 0, 2);
         kb.refine_overflow(0, true, |t| (t == 9).then_some(false));
-        assert_eq!(kb.overflow()[0], OverflowEntry { tuple: 9, lo: 1, hi: 2 });
+        assert_eq!(
+            kb.overflow()[0],
+            OverflowEntry {
+                tuple: 9,
+                lo: 1,
+                hi: 2
+            }
+        );
         kb.check_invariants();
     }
 
@@ -501,7 +540,12 @@ mod tests {
     fn storage_grows_with_separators() {
         let mut kb: Knowledge<Predicate> = Knowledge::init(100);
         let base = kb.storage_bytes();
-        kb.apply_split(0, (0..50).collect(), (50..100).collect(), Some(sep(5, true)));
+        kb.apply_split(
+            0,
+            (0..50).collect(),
+            (50..100).collect(),
+            Some(sep(5, true)),
+        );
         assert!(kb.storage_bytes() > base);
     }
 }

@@ -72,9 +72,9 @@ pub mod snapshot;
 pub mod traits;
 mod update;
 
-pub use engine::{EngineConfig, PrkbEngine};
+pub use engine::{EngineConfig, PrkbEngine, QueryError};
 pub use extremes::{extreme_candidates, top_m_candidates};
-pub use insert::InsertOutcome;
+pub use insert::{InsertDecision, InsertOutcome};
 pub use knowledge::{Knowledge, Separator};
 pub use md::{MdDim, MdUpdatePolicy};
 pub use pop::{PartId, Pop};

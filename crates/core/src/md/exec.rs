@@ -3,11 +3,11 @@
 use super::zones::{rank_classes, RankClass};
 use super::{MdDim, MdUpdatePolicy};
 use crate::knowledge::Separator;
-use crate::qfilter::{qfilter, FilterResult};
+use crate::qfilter::{try_qfilter, FilterResult};
 use crate::selection::{QueryStats, Selection};
 use crate::traits::SpPredicate;
 use crate::update::order_halves;
-use prkb_edbms::{SelectionOracle, TupleId};
+use prkb_edbms::{OracleError, SelectionOracle, TupleId};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -82,12 +82,16 @@ impl NsState {
     }
 }
 
+/// Runs the MD pipeline. Abort-safe by construction: phases 1–2 and the
+/// pending-split *collection* of phase 3 are fallible and read-only; splits
+/// for all dimensions are committed only after every oracle evaluation of
+/// the whole query has succeeded.
 pub(crate) fn run<O, R>(
     dims: &mut [MdDim<O::Pred>],
     oracle: &O,
     rng: &mut R,
     policy: MdUpdatePolicy,
-) -> Selection
+) -> Result<Selection, OracleError>
 where
     O: SelectionOracle,
     O::Pred: SpPredicate,
@@ -101,8 +105,8 @@ where
     // O(k), never O(n)).
     let mut filters: Vec<[FilterResult; 2]> = Vec::with_capacity(d);
     for dim in dims.iter() {
-        let f0 = qfilter(dim.knowledge.pop(), oracle, &dim.preds[0], rng);
-        let f1 = qfilter(dim.knowledge.pop(), oracle, &dim.preds[1], rng);
+        let f0 = try_qfilter(dim.knowledge.pop(), oracle, &dim.preds[0], rng)?;
+        let f1 = try_qfilter(dim.knowledge.pop(), oracle, &dim.preds[1], rng)?;
         filters.push([f0, f1]);
     }
     let classes: Vec<Vec<RankClass>> = dims
@@ -138,8 +142,8 @@ where
     let mut candidates: Vec<TupleId> = Vec::new();
     {
         let pop = dims[driver].knowledge.pop();
-        for r in 0..pop.k() {
-            if !classes[driver][r].known_false() {
+        for (r, class) in classes[driver].iter().enumerate().take(pop.k()) {
+            if !class.known_false() {
                 candidates.extend_from_slice(pop.members_at(r));
             }
         }
@@ -208,7 +212,7 @@ where
                         wave[i] = if let Some(v) = st.inferred(r) {
                             v
                         } else {
-                            let v = oracle.eval(&dim.preds[j], t);
+                            let v = oracle.try_eval(&dim.preds[j], t)?;
                             outcomes[di][j].push((t, v));
                             ns_states[di][j]
                                 .as_mut()
@@ -230,7 +234,7 @@ where
                 }
             }
             if !batch.is_empty() {
-                oracle.eval_batch(&dim.preds[j], &batch, &mut verdicts);
+                oracle.try_eval_batch(&dim.preds[j], &batch, &mut verdicts)?;
                 for (k, &v) in verdicts.iter().enumerate() {
                     let (i, keep_outcome) = batch_meta[k];
                     wave[i] = v;
@@ -246,21 +250,30 @@ where
     let winners = survivors;
 
     // Phase 3: refine each dimension's POP from fully-decided partitions.
+    // Pending splits are *collected* for every dimension first (the only
+    // phase-3 step that can touch the oracle, under CompleteSplits), and
+    // committed only once the whole query has evaluated cleanly — an error
+    // in dimension i must not leave dimensions 0..i already refined.
     let mut splits = 0usize;
     if policy != MdUpdatePolicy::Frozen {
+        let mut all_pending: Vec<Vec<PendingSplit>> = Vec::with_capacity(d);
         for di in 0..d {
-            splits += apply_dim_updates(
-                &mut dims[di],
+            all_pending.push(collect_dim_updates(
+                &dims[di],
                 oracle,
                 &filters[di],
                 &ns_states[di],
                 &outcomes[di],
                 policy,
-            );
+            )?);
+        }
+        // ---- Commit phase: infallible, no oracle calls past this point. ----
+        for (dim, pending) in dims.iter_mut().zip(all_pending) {
+            splits += commit_dim_updates(dim, pending);
         }
     }
 
-    Selection {
+    Ok(Selection {
         tuples: winners,
         stats: QueryStats {
             qpf_uses: oracle.qpf_uses() - qpf_before,
@@ -268,24 +281,27 @@ where
             k_after: dims.iter().map(|d| d.knowledge.k()).sum(),
             splits,
         },
-    }
+    })
 }
 
-/// Applies the sound refinements for one dimension. Returns split count.
-fn apply_dim_updates<O>(
-    dim: &mut MdDim<O::Pred>,
+/// A staged split: (rank, left, right, left_label, pred_idx).
+type PendingSplit = (usize, Vec<TupleId>, Vec<TupleId>, bool, usize);
+
+/// Gathers the sound refinements for one dimension without mutating it.
+/// Under [`MdUpdatePolicy::CompleteSplits`] this may spend QPF uses to
+/// finish partially-decided partitions — the only fallible step of phase 3.
+fn collect_dim_updates<O>(
+    dim: &MdDim<O::Pred>,
     oracle: &O,
     filters: &[FilterResult; 2],
     ns_states: &[Option<NsState>; 2],
     outcomes: &[Vec<(TupleId, bool)>; 2],
     policy: MdUpdatePolicy,
-) -> usize
+) -> Result<Vec<PendingSplit>, OracleError>
 where
     O: SelectionOracle,
     O::Pred: SpPredicate,
 {
-    // Gather candidate splits as (rank, left, right, left_label, pred_idx).
-    type PendingSplit = (usize, Vec<TupleId>, Vec<TupleId>, bool, usize);
     let mut pending: Vec<PendingSplit> = Vec::new();
 
     for j in 0..2 {
@@ -315,8 +331,9 @@ where
                 }
                 // Ablation mode: pay the missing QPF to finish the split.
                 for &t in members {
-                    map.entry(t)
-                        .or_insert_with(|| oracle.eval(&dim.preds[j], t));
+                    if let std::collections::hash_map::Entry::Vacant(e) = map.entry(t) {
+                        e.insert(oracle.try_eval(&dim.preds[j], t)?);
+                    }
                 }
             }
             let (mut true_half, mut false_half) = (Vec::new(), Vec::new());
@@ -331,7 +348,11 @@ where
             // it *is* the separating partition — the pair partner is
             // homogeneous with its sampled label (Lemma 4.5).
             let other = if r == st.a { st.b } else { st.a };
-            let other_label = Some(if other == st.a { st.label_a } else { st.label_b });
+            let other_label = Some(if other == st.a {
+                st.label_a
+            } else {
+                st.label_b
+            });
             let label_of = |q: usize| {
                 if q == other {
                     other_label
@@ -339,17 +360,17 @@ where
                     filter.known_label(q)
                 }
             };
-            let (left, right, left_label) = order_halves(
-                dim.knowledge.k(),
-                r,
-                true_half,
-                false_half,
-                label_of,
-            );
+            let (left, right, left_label) =
+                order_halves(dim.knowledge.k(), r, true_half, false_half, label_of);
             pending.push((r, left, right, left_label, j));
         }
     }
+    Ok(pending)
+}
 
+/// Commits the staged splits for one dimension. Returns the split count.
+/// Infallible: never touches the oracle.
+fn commit_dim_updates<P: SpPredicate>(dim: &mut MdDim<P>, mut pending: Vec<PendingSplit>) -> usize {
     // Apply descending by rank so earlier splits do not shift later ones;
     // if both trapdoors split the same partition, keep the first only
     // (re-deriving the second against the new sub-partitions is future

@@ -23,7 +23,7 @@ pub(crate) mod zones;
 use crate::knowledge::Knowledge;
 use crate::selection::Selection;
 use crate::traits::SpPredicate;
-use prkb_edbms::SelectionOracle;
+use prkb_edbms::{OracleError, SelectionOracle};
 use rand::Rng;
 
 /// What to do with partially-scanned NS partitions after an MD query.
@@ -49,12 +49,42 @@ pub struct MdDim<P> {
 }
 
 /// Processes a d-dimensional range query with the PRKB(MD) algorithm.
+///
+/// Infallible wrapper over [`try_process_range_md`].
+///
+/// # Panics
+/// Panics on oracle failure — fault-tolerant paths use
+/// [`try_process_range_md`].
 pub fn process_range_md<O, R>(
     dims: &mut [MdDim<O::Pred>],
     oracle: &O,
     rng: &mut R,
     policy: MdUpdatePolicy,
 ) -> Selection
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+    R: Rng,
+{
+    match try_process_range_md(dims, oracle, rng, policy) {
+        Ok(sel) => sel,
+        Err(e) => panic!("oracle failure: {e}"),
+    }
+}
+
+/// Processes a d-dimensional range query with the PRKB(MD) algorithm.
+///
+/// # Errors
+/// Propagates the first oracle failure. **Abort-safe:** pending splits are
+/// staged per dimension and committed only after every oracle evaluation of
+/// the whole query (all dimensions) has succeeded, so on error every
+/// dimension's `Knowledge` is byte-identical to its pre-query state.
+pub fn try_process_range_md<O, R>(
+    dims: &mut [MdDim<O::Pred>],
+    oracle: &O,
+    rng: &mut R,
+    policy: MdUpdatePolicy,
+) -> Result<Selection, OracleError>
 where
     O: SelectionOracle,
     O::Pred: SpPredicate,
@@ -73,7 +103,12 @@ mod tests {
     use rand::SeedableRng;
 
     /// Builds a d-dim oracle + warmed knowledge bases over random data.
-    fn setup(n: usize, d: usize, warm_cuts: usize, seed: u64) -> (Vec<Knowledge<Predicate>>, PlainOracle) {
+    fn setup(
+        n: usize,
+        d: usize,
+        warm_cuts: usize,
+        seed: u64,
+    ) -> (Vec<Knowledge<Predicate>>, PlainOracle) {
         let mut rng = StdRng::seed_from_u64(seed);
         let columns: Vec<Vec<u64>> = (0..d)
             .map(|_| (0..n).map(|_| rng.gen_range(0..10_000u64)).collect())
@@ -154,7 +189,9 @@ mod tests {
     fn md_3d_and_4d_correctness() {
         for d in [3usize, 4] {
             let (kbs, oracle) = setup(1500, d, 15, 5 + d as u64);
-            let ranges: Vec<(u64, u64)> = (0..d as u64).map(|i| (500 + i * 300, 5500 + i * 300)).collect();
+            let ranges: Vec<(u64, u64)> = (0..d as u64)
+                .map(|i| (500 + i * 300, 5500 + i * 300))
+                .collect();
             let (kbs, sel) = run_md(kbs, &oracle, &ranges, MdUpdatePolicy::PartialOnly, 6);
             assert_eq!(sel.sorted(), expected(&oracle, &ranges), "d={d}");
             for kb in &kbs {
@@ -187,7 +224,8 @@ mod tests {
         let k_partial: usize = kbs_partial.iter().map(Knowledge::k).sum();
 
         let (kbs2, oracle2) = setup(3000, 2, 10, 9);
-        let (kbs_complete, sel_b) = run_md(kbs2, &oracle2, &ranges, MdUpdatePolicy::CompleteSplits, 10);
+        let (kbs_complete, sel_b) =
+            run_md(kbs2, &oracle2, &ranges, MdUpdatePolicy::CompleteSplits, 10);
         let k_complete: usize = kbs_complete.iter().map(Knowledge::k).sum();
 
         assert_eq!(sel_a.sorted(), sel_b.sorted());
@@ -228,13 +266,22 @@ mod tests {
             let lo0 = rng.gen_range(0..8000u64);
             let lo1 = rng.gen_range(0..8000u64);
             let ranges = [(lo0, lo0 + 1500), (lo1, lo1 + 1500)];
-            let (k2, sel) = run_md(kbs, &oracle, &ranges, MdUpdatePolicy::PartialOnly, 17 + round);
+            let (k2, sel) = run_md(
+                kbs,
+                &oracle,
+                &ranges,
+                MdUpdatePolicy::PartialOnly,
+                17 + round,
+            );
             kbs = k2;
             assert_eq!(sel.sorted(), expected(&oracle, &ranges), "round {round}");
             last_cost = sel.stats.qpf_uses;
         }
         let total_k: usize = kbs.iter().map(Knowledge::k).sum();
-        assert!(total_k > 10, "knowledge should accumulate, k sum = {total_k}");
+        assert!(
+            total_k > 10,
+            "knowledge should accumulate, k sum = {total_k}"
+        );
         assert!(
             last_cost < 2 * 4000,
             "after 30 rounds cost {last_cost} should be well under the 16000 baseline"

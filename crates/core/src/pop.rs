@@ -139,7 +139,10 @@ impl Pop {
         first: Vec<TupleId>,
         second: Vec<TupleId>,
     ) -> (PartId, PartId) {
-        assert!(!first.is_empty() && !second.is_empty(), "split halves must be non-empty");
+        assert!(
+            !first.is_empty() && !second.is_empty(),
+            "split halves must be non-empty"
+        );
         let id = self.order[rank];
         debug_assert_eq!(
             first.len() + second.len(),
@@ -280,24 +283,51 @@ impl Pop {
     /// non-empty, disjoint, rank table consistent, locate consistent.
     ///
     /// # Panics
-    /// Panics (with a description) on any violation.
+    /// Panics (with a description) on any violation. Untrusted input paths
+    /// use the non-panicking [`validate`](Self::validate) instead.
     pub fn check_invariants(&self) {
+        if let Err(what) = self.validate() {
+            panic!("POP invariant violated: {what}");
+        }
+    }
+
+    /// Non-panicking twin of [`check_invariants`](Self::check_invariants):
+    /// reports the first violated invariant instead of asserting, so
+    /// untrusted input (e.g. a snapshot read from disk) can be rejected
+    /// gracefully.
+    ///
+    /// # Errors
+    /// A short description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), &'static str> {
         let mut seen = std::collections::HashSet::new();
         for (r, &id) in self.order.iter().enumerate() {
-            assert_eq!(self.rank[id as usize] as usize, r, "rank table broken");
-            let m = &self.members[id as usize];
-            assert!(!m.is_empty(), "empty partition at rank {r}");
+            if self.rank.get(id as usize).copied() != Some(r as u32) {
+                return Err("rank table broken");
+            }
+            let Some(m) = self.members.get(id as usize) else {
+                return Err("order references unknown partition");
+            };
+            if m.is_empty() {
+                return Err("empty partition");
+            }
             for &t in m {
-                assert!(seen.insert(t), "tuple {t} in two partitions");
-                assert_eq!(self.locate[t as usize], id, "locate broken for {t}");
+                if !seen.insert(t) {
+                    return Err("tuple in two partitions");
+                }
+                if self.locate.get(t as usize).copied() != Some(id) {
+                    return Err("locate table broken");
+                }
             }
         }
-        assert_eq!(seen.len(), self.placed, "placed count broken");
+        if seen.len() != self.placed {
+            return Err("placed count broken");
+        }
         for (t, &p) in self.locate.iter().enumerate() {
-            if p != NO_PART {
-                assert!(seen.contains(&(t as TupleId)), "ghost placement {t}");
+            if p != NO_PART && !seen.contains(&(t as TupleId)) {
+                return Err("ghost placement");
             }
         }
+        Ok(())
     }
 }
 

@@ -6,7 +6,7 @@
 //! Costs O(lg k) QPF uses.
 
 use crate::pop::Pop;
-use prkb_edbms::{SelectionOracle, TupleId};
+use prkb_edbms::{OracleError, SelectionOracle, TupleId};
 use rand::Rng;
 
 /// Outcome of `QFilter`.
@@ -59,39 +59,62 @@ impl FilterResult {
 
 /// Runs `QFilter` over the POP for trapdoor `pred`.
 ///
-/// Matches Algorithm 1, with the degenerate cases the pseudo-code leaves
-/// implicit: an empty POP yields no NS pair; a single partition is its own
-/// NS pair with no sampling spent (everything must be scanned anyway).
+/// Infallible wrapper over [`try_qfilter`].
+///
+/// # Panics
+/// Panics on oracle failure — fault-tolerant paths use [`try_qfilter`].
 pub fn qfilter<O: SelectionOracle, R: Rng>(
     pop: &Pop,
     oracle: &O,
     pred: &O::Pred,
     rng: &mut R,
 ) -> FilterResult {
+    match try_qfilter(pop, oracle, pred, rng) {
+        Ok(r) => r,
+        Err(e) => panic!("oracle failure: {e}"),
+    }
+}
+
+/// Runs `QFilter` over the POP for trapdoor `pred`.
+///
+/// Matches Algorithm 1, with the degenerate cases the pseudo-code leaves
+/// implicit: an empty POP yields no NS pair; a single partition is its own
+/// NS pair with no sampling spent (everything must be scanned anyway).
+///
+/// # Errors
+/// Propagates the first oracle failure. `QFilter` only reads the POP, so a
+/// failed filter has no state to roll back (the RNG stream is the only
+/// thing consumed).
+pub fn try_qfilter<O: SelectionOracle, R: Rng>(
+    pop: &Pop,
+    oracle: &O,
+    pred: &O::Pred,
+    rng: &mut R,
+) -> Result<FilterResult, OracleError> {
     let k = pop.k();
     if k == 0 {
-        return FilterResult {
+        return Ok(FilterResult {
             ns: None,
             label_a: false,
             label_b: false,
             boundary: true,
             winner_ranks: Vec::new(),
             false_ranks: Vec::new(),
-        };
+        });
     }
     if k == 1 {
-        return FilterResult {
+        return Ok(FilterResult {
             ns: Some((0, 0)),
             label_a: false,
             label_b: false,
             boundary: true,
             winner_ranks: Vec::new(),
             false_ranks: Vec::new(),
-        };
+        });
     }
 
-    let label_1 = oracle.eval(pred, pop.sample_at(0, rng));
-    let label_k = oracle.eval(pred, pop.sample_at(k - 1, rng));
+    let label_1 = oracle.try_eval(pred, pop.sample_at(0, rng))?;
+    let label_k = oracle.try_eval(pred, pop.sample_at(k - 1, rng))?;
 
     if label_1 == label_k {
         // Boundary case: s = 1 or s = k; all middle partitions share the
@@ -102,14 +125,14 @@ pub fn qfilter<O: SelectionOracle, R: Rng>(
         } else {
             (Vec::new(), middle)
         };
-        return FilterResult {
+        return Ok(FilterResult {
             ns: Some((0, k - 1)),
             label_a: label_1,
             label_b: label_k,
             boundary: true,
             winner_ranks,
             false_ranks,
-        };
+        });
     }
 
     // Recursive case: binary search for the NS pair.
@@ -117,7 +140,7 @@ pub fn qfilter<O: SelectionOracle, R: Rng>(
     let mut b = k - 1;
     while b - a > 1 {
         let m = (a + b) / 2;
-        let label_m = oracle.eval(pred, pop.sample_at(m, rng));
+        let label_m = oracle.try_eval(pred, pop.sample_at(m, rng))?;
         if label_m == label_1 {
             a = m;
         } else {
@@ -134,14 +157,14 @@ pub fn qfilter<O: SelectionOracle, R: Rng>(
         false_ranks.extend(0..a);
         winner_ranks.extend(b + 1..k);
     }
-    FilterResult {
+    Ok(FilterResult {
         ns: Some((a, b)),
         label_a: label_1,
         label_b: label_k,
         boundary: false,
         winner_ranks,
         false_ranks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -163,9 +186,8 @@ mod tests {
         for i in 1..parts {
             let rank = i - 1;
             let members = pop.members_at(rank).to_vec();
-            let (first, second): (Vec<_>, Vec<_>) = members
-                .into_iter()
-                .partition(|&t| (t as usize) < i * width);
+            let (first, second): (Vec<_>, Vec<_>) =
+                members.into_iter().partition(|&t| (t as usize) < i * width);
             pop.split_at(rank, first, second);
         }
         assert_eq!(pop.k(), parts);
@@ -183,7 +205,10 @@ mod tests {
         let (a, b) = r.ns.unwrap();
         assert_eq!(b, a + 1);
         assert!((3..=4).contains(&a) || (3..=4).contains(&b), "ns=({a},{b})");
-        assert!(a == 3 || b == 3, "true separating partition 3 must be in the pair");
+        assert!(
+            a == 3 || b == 3,
+            "true separating partition 3 must be in the pair"
+        );
         // Winners: everything proven below the cut.
         for &w in &r.winner_ranks {
             assert!(w < a);

@@ -8,7 +8,7 @@
 
 use crate::pop::Pop;
 use crate::qfilter::FilterResult;
-use prkb_edbms::{SelectionOracle, TupleId};
+use prkb_edbms::{OracleError, SelectionOracle, TupleId};
 
 /// A discovered split of a non-homogeneous partition (Lemma 4.5, Case 2).
 #[derive(Debug, Clone)]
@@ -38,24 +38,47 @@ pub struct ScanResult {
 
 /// Runs `QScan` over the NS pair in `filter`.
 ///
-/// Returns an empty result if the POP was empty (no NS pair).
+/// Infallible wrapper over [`try_qscan`].
+///
+/// # Panics
+/// Panics on oracle failure — fault-tolerant paths use [`try_qscan`].
 pub fn qscan<O: SelectionOracle>(
     pop: &Pop,
     oracle: &O,
     pred: &O::Pred,
     filter: &FilterResult,
 ) -> ScanResult {
+    match try_qscan(pop, oracle, pred, filter) {
+        Ok(r) => r,
+        Err(e) => panic!("oracle failure: {e}"),
+    }
+}
+
+/// Runs `QScan` over the NS pair in `filter`.
+///
+/// Returns an empty result if the POP was empty (no NS pair).
+///
+/// # Errors
+/// Propagates the first oracle failure. `QScan` only reads the POP — the
+/// split it discovers is *returned*, not applied, so a failed scan leaves
+/// no knowledge to roll back.
+pub fn try_qscan<O: SelectionOracle>(
+    pop: &Pop,
+    oracle: &O,
+    pred: &O::Pred,
+    filter: &FilterResult,
+) -> Result<ScanResult, OracleError> {
     let Some((a, b)) = filter.ns else {
-        return ScanResult {
+        return Ok(ScanResult {
             winners: Vec::new(),
             split: None,
             label_a_full: None,
             label_b_full: None,
-        };
+        });
     };
 
     // Scan P_a fully.
-    let (a_true, a_false) = scan_partition(pop, oracle, pred, a);
+    let (a_true, a_false) = scan_partition(pop, oracle, pred, a)?;
 
     if !a_true.is_empty() && !a_false.is_empty() {
         // P_a is non-homogeneous: s = a; early stop. P_b is implied
@@ -69,7 +92,7 @@ pub fn qscan<O: SelectionOracle>(
             }
             label_b_full = Some(filter.label_b);
         }
-        return ScanResult {
+        return Ok(ScanResult {
             winners,
             split: Some(Split {
                 rank: a,
@@ -78,7 +101,7 @@ pub fn qscan<O: SelectionOracle>(
             }),
             label_a_full: None,
             label_b_full,
-        };
+        });
     }
 
     // P_a homogeneous: its true half is consumed only as winners, so move
@@ -88,16 +111,16 @@ pub fn qscan<O: SelectionOracle>(
     let mut winners = a_true;
     if a == b {
         // Single-partition POP scanned homogeneous: nothing further.
-        return ScanResult {
+        return Ok(ScanResult {
             winners,
             split: None,
             label_a_full,
             label_b_full: None,
-        };
+        });
     }
 
     // P_a homogeneous: scan P_b as well.
-    let (b_true, b_false) = scan_partition(pop, oracle, pred, b);
+    let (b_true, b_false) = scan_partition(pop, oracle, pred, b)?;
     winners.extend_from_slice(&b_true);
     let split = if !b_true.is_empty() && !b_false.is_empty() {
         Some(Split {
@@ -113,12 +136,12 @@ pub fn qscan<O: SelectionOracle>(
     } else {
         Some(winners.len() > a_true_len)
     };
-    ScanResult {
+    Ok(ScanResult {
         winners,
         split,
         label_a_full,
         label_b_full,
-    }
+    })
 }
 
 /// Fully scans the partition at `rank` as one oracle batch (every member is
@@ -129,10 +152,10 @@ fn scan_partition<O: SelectionOracle>(
     oracle: &O,
     pred: &O::Pred,
     rank: usize,
-) -> (Vec<TupleId>, Vec<TupleId>) {
+) -> Result<(Vec<TupleId>, Vec<TupleId>), OracleError> {
     let members = pop.members_at(rank);
     let mut verdicts = Vec::new();
-    oracle.eval_batch(pred, members, &mut verdicts);
+    oracle.try_eval_batch(pred, members, &mut verdicts)?;
     let mut t_half = Vec::new();
     let mut f_half = Vec::new();
     for (&t, v) in members.iter().zip(verdicts) {
@@ -142,7 +165,7 @@ fn scan_partition<O: SelectionOracle>(
             f_half.push(t);
         }
     }
-    (t_half, f_half)
+    Ok((t_half, f_half))
 }
 
 #[cfg(test)]
@@ -161,9 +184,8 @@ mod tests {
         let width = n / parts;
         for i in 1..parts {
             let members = pop.members_at(i - 1).to_vec();
-            let (first, second): (Vec<_>, Vec<_>) = members
-                .into_iter()
-                .partition(|&t| (t as usize) < i * width);
+            let (first, second): (Vec<_>, Vec<_>) =
+                members.into_iter().partition(|&t| (t as usize) < i * width);
             pop.split_at(i - 1, first, second);
         }
         (pop, oracle)

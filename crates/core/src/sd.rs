@@ -7,20 +7,21 @@
 //! discovered split refines the POP at zero additional QPF cost.
 
 use crate::knowledge::{Knowledge, Separator};
-use crate::qfilter::{qfilter, FilterResult};
-use crate::qscan::{qscan, ScanResult, Split};
+use crate::qfilter::{try_qfilter, FilterResult};
+use crate::qscan::{try_qscan, ScanResult, Split};
 use crate::selection::{QueryStats, Selection};
 use crate::traits::SpPredicate;
-use prkb_edbms::{SelectionOracle, TupleId};
+use prkb_edbms::{OracleError, SelectionOracle, TupleId};
 use rand::Rng;
 use std::collections::HashMap;
 
 /// Processes one comparison trapdoor against the knowledge base.
 ///
-/// When `update` is true (the normal mode), an inequivalent trapdoor splits
-/// the non-homogeneous partition and is retained as a separator; overflow
-/// tuples are refined and possibly promoted. With `update` false the PRKB is
-/// static (the paper's "static PRKB with 250 partitions" experiments).
+/// Infallible wrapper over [`try_process_comparison`].
+///
+/// # Panics
+/// Panics on oracle failure — fault-tolerant paths use
+/// [`try_process_comparison`].
 pub fn process_comparison<O, R>(
     kb: &mut Knowledge<O::Pred>,
     oracle: &O,
@@ -33,11 +34,41 @@ where
     O::Pred: SpPredicate,
     R: Rng,
 {
+    match try_process_comparison(kb, oracle, pred, rng, update) {
+        Ok(sel) => sel,
+        Err(e) => panic!("oracle failure: {e}"),
+    }
+}
+
+/// Processes one comparison trapdoor against the knowledge base.
+///
+/// When `update` is true (the normal mode), an inequivalent trapdoor splits
+/// the non-homogeneous partition and is retained as a separator; overflow
+/// tuples are refined and possibly promoted. With `update` false the PRKB is
+/// static (the paper's "static PRKB with 250 partitions" experiments).
+///
+/// # Errors
+/// Propagates the first oracle failure. **Abort-safe:** every oracle
+/// evaluation (filter, scan, overflow batch) happens before any knowledge
+/// mutation, so on error `kb` is byte-identical to its pre-query state.
+pub fn try_process_comparison<O, R>(
+    kb: &mut Knowledge<O::Pred>,
+    oracle: &O,
+    pred: &O::Pred,
+    rng: &mut R,
+    update: bool,
+) -> Result<Selection, OracleError>
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+    R: Rng,
+{
     let qpf_before = oracle.qpf_uses();
     let k_before = kb.k();
 
-    let filter = qfilter(kb.pop(), oracle, pred, rng);
-    let scan = qscan(kb.pop(), oracle, pred, &filter);
+    // ---- Evaluation phase: fallible, reads only. ----
+    let filter = try_qfilter(kb.pop(), oracle, pred, rng)?;
+    let scan = try_qscan(kb.pop(), oracle, pred, &filter)?;
 
     // T_W ∪ T_WNS.
     let mut tuples = filter.winner_tuples(kb.pop());
@@ -46,7 +77,7 @@ where
     // Overflow tuples are always examined, unconditionally — one batch.
     let overflow: Vec<TupleId> = kb.overflow().iter().map(|e| e.tuple).collect();
     let mut verdicts = Vec::new();
-    oracle.eval_batch(pred, &overflow, &mut verdicts);
+    oracle.try_eval_batch(pred, &overflow, &mut verdicts)?;
     let mut overflow_out: HashMap<TupleId, bool> = HashMap::new();
     for (t, out) in overflow.into_iter().zip(verdicts) {
         overflow_out.insert(t, out);
@@ -55,6 +86,7 @@ where
         }
     }
 
+    // ---- Commit phase: infallible, no oracle calls past this point. ----
     let mut splits = 0usize;
     if update {
         if let Some(split) = scan.split.clone() {
@@ -76,7 +108,7 @@ where
         // Intervals therefore reference retained separator thresholds only.
     }
 
-    Selection {
+    Ok(Selection {
         tuples,
         stats: QueryStats {
             qpf_uses: oracle.qpf_uses() - qpf_before,
@@ -84,7 +116,7 @@ where
             k_after: kb.k(),
             splits,
         },
-    }
+    })
 }
 
 /// Decides the order of the two halves of a split (paper §5.3): the half
@@ -188,7 +220,12 @@ mod tests {
             let (mut kb, oracle) = setup(200);
             // Warm up with a couple of cuts.
             run(&mut kb, &oracle, Predicate::cmp(0, ComparisonOp::Lt, 50), 1);
-            run(&mut kb, &oracle, Predicate::cmp(0, ComparisonOp::Lt, 150), 2);
+            run(
+                &mut kb,
+                &oracle,
+                Predicate::cmp(0, ComparisonOp::Lt, 150),
+                2,
+            );
             let p = Predicate::cmp(0, op, 99);
             let sel = run(&mut kb, &oracle, p, 3);
             assert_eq!(sel.sorted(), oracle.expected_select(&p), "{op:?}");
@@ -227,9 +264,19 @@ mod tests {
     #[test]
     fn select_none_and_select_all() {
         let (mut kb, oracle) = setup(50);
-        let none = run(&mut kb, &oracle, Predicate::cmp(0, ComparisonOp::Gt, 1000), 1);
+        let none = run(
+            &mut kb,
+            &oracle,
+            Predicate::cmp(0, ComparisonOp::Gt, 1000),
+            1,
+        );
         assert!(none.tuples.is_empty());
-        let all = run(&mut kb, &oracle, Predicate::cmp(0, ComparisonOp::Le, 1000), 2);
+        let all = run(
+            &mut kb,
+            &oracle,
+            Predicate::cmp(0, ComparisonOp::Le, 1000),
+            2,
+        );
         assert_eq!(all.tuples.len(), 50);
         // Neither predicate separates anything: k stays 1.
         assert_eq!(kb.k(), 1);

@@ -8,14 +8,20 @@
 //! cannot exploit cross-dimension pruning.
 
 use crate::md::MdDim;
-use crate::sd::process_comparison;
+use crate::sd::try_process_comparison;
 use crate::selection::{QueryStats, Selection};
 use crate::traits::SpPredicate;
-use prkb_edbms::{SelectionOracle, TupleId};
+use prkb_edbms::{OracleError, SelectionOracle, TupleId};
 use rand::Rng;
 
 /// Processes a d-dimensional range query by intersecting 2d independent
 /// single-predicate selections.
+///
+/// Infallible wrapper over [`try_process_range_sdplus`].
+///
+/// # Panics
+/// Panics on oracle failure — fault-tolerant paths use
+/// [`try_process_range_sdplus`].
 pub fn process_range_sdplus<O, R>(
     dims: &mut [MdDim<O::Pred>],
     oracle: &O,
@@ -27,29 +33,72 @@ where
     O::Pred: SpPredicate,
     R: Rng,
 {
+    match try_process_range_sdplus(dims, oracle, rng, update) {
+        Ok(sel) => sel,
+        Err(e) => panic!("oracle failure: {e}"),
+    }
+}
+
+/// Processes a d-dimensional range query by intersecting 2d independent
+/// single-predicate selections.
+///
+/// # Errors
+/// Propagates the first oracle failure. **Abort-safe:** each trapdoor's
+/// single-dimension pipeline commits its refinement as soon as that trapdoor
+/// finishes, so a failure on a later trapdoor could strand earlier commits.
+/// To keep the all-or-nothing contract, when `update` is set every
+/// dimension's `Knowledge` is snapshotted up front and restored wholesale on
+/// error. (With `update = false` nothing is mutated and no snapshot is
+/// taken.)
+pub fn try_process_range_sdplus<O, R>(
+    dims: &mut [MdDim<O::Pred>],
+    oracle: &O,
+    rng: &mut R,
+    update: bool,
+) -> Result<Selection, OracleError>
+where
+    O: SelectionOracle,
+    O::Pred: SpPredicate,
+    R: Rng,
+{
     let qpf_before = oracle.qpf_uses();
     let k_before: usize = dims.iter().map(|d| d.knowledge.k()).sum();
     let n = oracle.n_slots();
     let total_preds = dims.len() * 2;
 
+    // Rollback snapshot: SD+ commits per trapdoor, so cross-trapdoor
+    // staging is not possible without replaying the intermediate states.
+    let saved: Option<Vec<_>> = update.then(|| dims.iter().map(|d| d.knowledge.clone()).collect());
+
     let mut hits: Vec<u8> = vec![0; n];
     let mut splits = 0usize;
-    for dim in dims.iter_mut() {
-        for j in 0..2 {
-            let pred = dim.preds[j].clone();
-            let sel = process_comparison(&mut dim.knowledge, oracle, &pred, rng, update);
-            splits += sel.stats.splits;
-            for t in sel.tuples {
-                hits[t as usize] += 1;
+    let mut run = || -> Result<(), OracleError> {
+        for dim in dims.iter_mut() {
+            for j in 0..2 {
+                let pred = dim.preds[j].clone();
+                let sel = try_process_comparison(&mut dim.knowledge, oracle, &pred, rng, update)?;
+                splits += sel.stats.splits;
+                for t in sel.tuples {
+                    hits[t as usize] += 1;
+                }
             }
         }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        if let Some(saved) = saved {
+            for (dim, kb) in dims.iter_mut().zip(saved) {
+                dim.knowledge = kb;
+            }
+        }
+        return Err(e);
     }
 
     let tuples: Vec<TupleId> = (0..n as TupleId)
         .filter(|&t| hits[t as usize] as usize == total_preds)
         .collect();
 
-    Selection {
+    Ok(Selection {
         tuples,
         stats: QueryStats {
             qpf_uses: oracle.qpf_uses() - qpf_before,
@@ -57,7 +106,7 @@ where
             k_after: dims.iter().map(|d| d.knowledge.k()).sum(),
             splits,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -65,6 +114,7 @@ mod tests {
     use super::*;
     use crate::knowledge::Knowledge;
     use crate::md::{process_range_md, MdUpdatePolicy};
+    use crate::sd::process_comparison;
     use prkb_edbms::testing::PlainOracle;
     use prkb_edbms::{ComparisonOp, Predicate};
     use rand::rngs::StdRng;
@@ -80,10 +130,7 @@ mod tests {
         (kbs, oracle)
     }
 
-    fn dims_for(
-        kbs: Vec<Knowledge<Predicate>>,
-        ranges: &[(u64, u64)],
-    ) -> Vec<MdDim<Predicate>> {
+    fn dims_for(kbs: Vec<Knowledge<Predicate>>, ranges: &[(u64, u64)]) -> Vec<MdDim<Predicate>> {
         kbs.into_iter()
             .enumerate()
             .map(|(a, knowledge)| MdDim {

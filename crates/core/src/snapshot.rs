@@ -164,8 +164,14 @@ pub fn load<P: SpPredicate + WireCodec>(bytes: &[u8]) -> Result<Knowledge<P>, Sn
     }
     let k = u64::from_le_bytes(take(&mut pos, 8, "k")?.try_into().expect("8 bytes")) as usize;
     let n = u64::from_le_bytes(take(&mut pos, 8, "n_slots")?.try_into().expect("8 bytes")) as usize;
+    // Bound both counts against the stream length BEFORE any allocation, so
+    // a length-lying header cannot make `load` over-allocate: every slot
+    // costs 4 rank bytes, and every partition must be non-empty (k ≤ n).
     if n > bytes.len() / 4 {
         return Err(SnapshotError::Truncated("ranks length"));
+    }
+    if k > n.max(1) {
+        return Err(SnapshotError::Inconsistent("k exceeds slot count"));
     }
 
     let mut ranks = Vec::with_capacity(n);
@@ -188,26 +194,54 @@ pub fn load<P: SpPredicate + WireCodec>(bytes: &[u8]) -> Result<Knowledge<P>, Sn
             P::decode(&bytes[pos..]).ok_or(SnapshotError::Truncated("separator predicate"))?;
         pos += used;
         let sep = match tag {
-            1 => Separator::Cmp { pred, left_label: false },
-            2 => Separator::Cmp { pred, left_label: true },
-            3 => Separator::Between { pred, edge: BetweenEdge::InteriorLeft },
-            4 => Separator::Between { pred, edge: BetweenEdge::InteriorRight },
+            1 => Separator::Cmp {
+                pred,
+                left_label: false,
+            },
+            2 => Separator::Cmp {
+                pred,
+                left_label: true,
+            },
+            3 => Separator::Between {
+                pred,
+                edge: BetweenEdge::InteriorLeft,
+            },
+            4 => Separator::Between {
+                pred,
+                edge: BetweenEdge::InteriorRight,
+            },
             _ => return Err(SnapshotError::Inconsistent("unknown separator tag")),
         };
         seps.push(Some(sep));
     }
 
-    let n_overflow =
-        u32::from_le_bytes(take(&mut pos, 4, "overflow count")?.try_into().expect("4 bytes"))
-            as usize;
+    let n_overflow = u32::from_le_bytes(
+        take(&mut pos, 4, "overflow count")?
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    // Each entry is 20 bytes on the wire; a count the remaining stream
+    // cannot hold is a lie — reject it before allocating.
+    if n_overflow > bytes.len().saturating_sub(pos) / 20 {
+        return Err(SnapshotError::Truncated("overflow entries"));
+    }
     let mut overflow = Vec::with_capacity(n_overflow);
     for _ in 0..n_overflow {
-        let tuple =
-            u32::from_le_bytes(take(&mut pos, 4, "overflow tuple")?.try_into().expect("4 bytes"));
-        let lo = u64::from_le_bytes(take(&mut pos, 8, "overflow lo")?.try_into().expect("8 bytes"))
-            as usize;
-        let hi = u64::from_le_bytes(take(&mut pos, 8, "overflow hi")?.try_into().expect("8 bytes"))
-            as usize;
+        let tuple = u32::from_le_bytes(
+            take(&mut pos, 4, "overflow tuple")?
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let lo = u64::from_le_bytes(
+            take(&mut pos, 8, "overflow lo")?
+                .try_into()
+                .expect("8 bytes"),
+        ) as usize;
+        let hi = u64::from_le_bytes(
+            take(&mut pos, 8, "overflow hi")?
+                .try_into()
+                .expect("8 bytes"),
+        ) as usize;
         if lo > hi || (k > 0 && hi >= k) {
             return Err(SnapshotError::Inconsistent("overflow interval"));
         }
@@ -216,12 +250,7 @@ pub fn load<P: SpPredicate + WireCodec>(bytes: &[u8]) -> Result<Knowledge<P>, Sn
 
     let kb = Knowledge::from_raw(pop, seps, overflow);
     // Final structural validation (catches e.g. parked-but-placed tuples).
-    let validated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        kb.check_invariants();
-    }));
-    if validated.is_err() {
-        return Err(SnapshotError::Inconsistent("invariant check failed"));
-    }
+    kb.validate().map_err(SnapshotError::Inconsistent)?;
     Ok(kb)
 }
 
@@ -241,7 +270,13 @@ mod tests {
         let mut kb: Knowledge<Predicate> = Knowledge::init(n);
         for _ in 0..cuts {
             let c = rng.gen_range(0..10_000u64);
-            process_comparison(&mut kb, &oracle, &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng, true);
+            process_comparison(
+                &mut kb,
+                &oracle,
+                &Predicate::cmp(0, ComparisonOp::Lt, c),
+                &mut rng,
+                true,
+            );
         }
         (kb, oracle)
     }
@@ -290,7 +325,10 @@ mod tests {
 
     #[test]
     fn bad_inputs_rejected() {
-        assert_eq!(load::<Predicate>(b"nope").unwrap_err(), SnapshotError::BadHeader);
+        assert_eq!(
+            load::<Predicate>(b"nope").unwrap_err(),
+            SnapshotError::BadHeader
+        );
         let (kb, _) = warmed(100, 10, 4);
         let good = save(&kb);
         for cut in [5usize, 14, 20, good.len() - 1] {
@@ -309,6 +347,62 @@ mod tests {
                 load::<Predicate>(&bad),
                 Err(SnapshotError::Inconsistent(_))
             ));
+        }
+    }
+
+    #[test]
+    fn length_lying_headers_rejected_without_allocation() {
+        // Hand-built header claiming u64::MAX partitions/slots: `load` must
+        // reject it from the stream length alone, before any allocation.
+        let mut lying = Vec::new();
+        lying.extend_from_slice(MAGIC);
+        lying.extend_from_slice(&VERSION.to_le_bytes());
+        lying.extend_from_slice(&u64::MAX.to_le_bytes()); // k
+        lying.extend_from_slice(&u64::MAX.to_le_bytes()); // n_slots
+        assert!(load::<Predicate>(&lying).is_err());
+
+        // Plausible n, absurd k.
+        let (kb, _) = warmed(50, 5, 7);
+        let mut bad = save(&kb);
+        bad[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load::<Predicate>(&bad),
+            Err(SnapshotError::Inconsistent(_))
+        ));
+
+        // Valid stream up to an overflow count the tail cannot hold.
+        let mut bad = save(&kb);
+        let cnt_off = bad.len() - 4; // no overflow entries ⇒ count is last
+        bad[cnt_off..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            load::<Predicate>(&bad),
+            Err(SnapshotError::Truncated(_))
+        ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Hostile-input hardening: truncated, bit-flipped, and
+        /// length-lying streams must always come back as a `SnapshotError`
+        /// (or a still-valid knowledge base) — never a panic, never an
+        /// allocation driven by an unchecked header field.
+        fn hostile_streams_never_panic(
+            seed in 0u64..8,
+            cut in 0usize..4096,
+            flips in proptest::collection::vec((0usize..4096, 0u32..8), 0..6),
+        ) {
+            let (kb, _) = warmed(120, 12, seed);
+            let mut bytes = save(&kb);
+            for &(pos, bit) in &flips {
+                let len = bytes.len();
+                bytes[pos % len] ^= 1 << bit;
+            }
+            bytes.truncate(cut % (bytes.len() + 1));
+            if let Ok(restored) = load::<Predicate>(&bytes) {
+                // Anything accepted must satisfy every structural invariant.
+                restored.check_invariants();
+            }
         }
     }
 

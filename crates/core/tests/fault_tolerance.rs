@@ -1,0 +1,323 @@
+//! Fault-tolerance properties of the PRKB boundary (DESIGN.md §9).
+//!
+//! Two pinned guarantees:
+//!
+//! 1. **Fault/retry equivalence** — an engine run over a fault-injected,
+//!    retried oracle produces the same selection results and a
+//!    byte-identical final knowledge base as the fault-free run, as long as
+//!    every fault class is retryable and the retry budget covers the
+//!    injector's consecutive-fault cap.
+//! 2. **Abort-safety** — when a query *does* fail (non-retryable fault, no
+//!    retry wrapper), the engine reports the error and every attribute's
+//!    knowledge base is byte-identical to its pre-query state: no partial
+//!    splits, no stranded overflow entries, no half-routed inserts.
+
+use prkb_core::snapshot::{self, WireCodec};
+use prkb_core::{EngineConfig, PrkbEngine, SpPredicate};
+use prkb_edbms::testing::PlainOracle;
+use prkb_edbms::{ComparisonOp, FaultConfig, FaultInjector, Predicate, RetryOracle, RetryPolicy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical serialized form of every attribute's knowledge, in attribute
+/// order — byte equality here is the paper-index equivalent of "the KB is
+/// in the same state".
+fn kb_bytes<P: SpPredicate + WireCodec>(engine: &PrkbEngine<P>) -> Vec<Vec<u8>> {
+    let mut attrs: Vec<_> = engine.attrs().collect();
+    attrs.sort_unstable();
+    attrs
+        .iter()
+        .map(|&a| snapshot::save(engine.knowledge(a).expect("attr indexed")))
+        .collect()
+}
+
+fn columns(n: usize, extra: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..2)
+        .map(|_| (0..n + extra).map(|_| rng.gen_range(0..1_000u64)).collect())
+        .collect()
+}
+
+fn two_attr_engine(n: usize) -> PrkbEngine<Predicate> {
+    let mut engine = PrkbEngine::new(EngineConfig::default());
+    engine.init_attr(0, n);
+    engine.init_attr(1, n);
+    engine
+}
+
+/// One round of the mixed workload: comparison, BETWEEN, PRKB(MD),
+/// PRKB(SD+), conjunction, insert — everything that can mutate knowledge.
+#[derive(Debug, Clone)]
+enum Step {
+    Cmp(Predicate),
+    Md([[Predicate; 2]; 2]),
+    Sdplus([[Predicate; 2]; 2]),
+    Conjunction(Vec<Predicate>),
+    Insert(u32),
+}
+
+fn workload(n: usize, extra: usize, seed: u64) -> Vec<Step> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = Vec::new();
+    let mut next_insert = n as u32;
+    for round in 0..14 {
+        let lo = rng.gen_range(0..800u64);
+        let hi = lo + rng.gen_range(50..200u64);
+        let attr = (round % 2) as u32;
+        let step = match round % 6 {
+            0 => Step::Cmp(Predicate::cmp(attr, ComparisonOp::Lt, hi)),
+            1 => Step::Cmp(Predicate::between(attr, lo, hi)),
+            2 | 3 => {
+                let dims = [
+                    [
+                        Predicate::cmp(0, ComparisonOp::Gt, lo),
+                        Predicate::cmp(0, ComparisonOp::Lt, hi),
+                    ],
+                    [
+                        Predicate::cmp(1, ComparisonOp::Gt, lo / 2),
+                        Predicate::cmp(1, ComparisonOp::Lt, hi + 100),
+                    ],
+                ];
+                if round % 6 == 2 {
+                    Step::Md(dims)
+                } else {
+                    Step::Sdplus(dims)
+                }
+            }
+            4 => Step::Conjunction(vec![
+                Predicate::cmp(0, ComparisonOp::Gt, lo),
+                Predicate::cmp(0, ComparisonOp::Lt, hi),
+                Predicate::cmp(1, ComparisonOp::Gt, lo / 2),
+                Predicate::cmp(1, ComparisonOp::Lt, hi + 100),
+                Predicate::between(0, lo, hi),
+            ]),
+            _ => {
+                let t = next_insert;
+                next_insert += 1;
+                if (t as usize) < n + extra {
+                    Step::Insert(t)
+                } else {
+                    Step::Cmp(Predicate::cmp(attr, ComparisonOp::Ge, lo))
+                }
+            }
+        };
+        steps.push(step);
+    }
+    steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole property 1: with every injected fault retryable and the
+    /// retry budget covering the injector's consecutive-fault cap, the
+    /// faulty run is indistinguishable from the fault-free run — same
+    /// selection results, byte-identical final knowledge bases.
+    fn faulty_retried_run_matches_fault_free_run(seed in 0u64..1_000_000) {
+        let (n, extra) = (260usize, 3usize);
+        let cols = columns(n, extra, seed);
+        let clean = PlainOracle::from_columns(cols.clone());
+        // retryable(): transient + timeout faults only, at most 2 in a row,
+        // so 4 attempts with no backoff always recover.
+        let faulty = RetryOracle::new(
+            FaultInjector::new(PlainOracle::from_columns(cols), FaultConfig::retryable(seed)),
+            RetryPolicy::fast(4),
+        );
+
+        let mut e1 = two_attr_engine(n);
+        let mut e2 = two_attr_engine(n);
+        let mut r1 = StdRng::seed_from_u64(seed ^ 0xA5);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 0xA5);
+
+        for (i, step) in workload(n, extra, seed ^ 0x77).into_iter().enumerate() {
+            let (s1, s2) = match &step {
+                Step::Cmp(p) => (
+                    e1.select(&clean, p, &mut r1).sorted(),
+                    e2.select(&faulty, p, &mut r2).sorted(),
+                ),
+                Step::Md(dims) => (
+                    e1.select_range_md(&clean, dims, &mut r1).sorted(),
+                    e2.select_range_md(&faulty, dims, &mut r2).sorted(),
+                ),
+                Step::Sdplus(dims) => (
+                    e1.select_range_sdplus(&clean, dims, &mut r1).sorted(),
+                    e2.select_range_sdplus(&faulty, dims, &mut r2).sorted(),
+                ),
+                Step::Conjunction(ps) => (
+                    e1.select_conjunction(&clean, ps, &mut r1).sorted(),
+                    e2.select_conjunction(&faulty, ps, &mut r2).sorted(),
+                ),
+                Step::Insert(t) => {
+                    let o1 = e1.insert(&clean, *t);
+                    let o2 = e2.insert(&faulty, *t);
+                    prop_assert_eq!(&o1, &o2, "step {}: insert outcomes diverged", i);
+                    (Vec::new(), Vec::new())
+                }
+            };
+            prop_assert_eq!(s1, s2, "step {}: selections diverged", i);
+        }
+
+        prop_assert!(faulty.inner().injected() > 0, "workload too small to exercise faults");
+        prop_assert_eq!(kb_bytes(&e1), kb_bytes(&e2), "final knowledge diverged");
+    }
+
+    /// Tentpole property 2: a failed query (non-retryable faults, no retry
+    /// wrapper) leaves every attribute's knowledge base byte-identical to
+    /// its pre-query state; successful queries still match the fault-free
+    /// engine exactly.
+    fn aborted_query_leaves_knowledge_byte_identical(seed in 0u64..1_000_000) {
+        let (n, extra) = (220usize, 3usize);
+        let cols = columns(n, extra, seed);
+        let clean = PlainOracle::from_columns(cols.clone());
+        // with_corruption(): corruption faults are non-retryable and there
+        // is no retry wrapper here, so any injected fault aborts the query.
+        let faulty =
+            FaultInjector::new(PlainOracle::from_columns(cols), FaultConfig::with_corruption(seed));
+
+        let mut e1 = two_attr_engine(n);
+        let mut e2 = two_attr_engine(n);
+        let mut r1 = StdRng::seed_from_u64(seed ^ 0x5A);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 0x5A);
+        let (mut aborted, mut committed) = (0u32, 0u32);
+
+        for (i, step) in workload(n, extra, seed ^ 0x33).into_iter().enumerate() {
+            let before = kb_bytes(&e2);
+            // Run the faulty engine first; mirror onto the fault-free
+            // engine only when the query committed, so e1 tracks exactly
+            // the queries e2 actually executed.
+            match &step {
+                Step::Cmp(p) => match e2.try_select(&faulty, p, &mut r2) {
+                    Ok(s2) => {
+                        committed += 1;
+                        let s1 = e1.select(&clean, p, &mut r1);
+                        prop_assert_eq!(s1.sorted(), s2.sorted(), "step {}", i);
+                    }
+                    Err(_) => {
+                        aborted += 1;
+                        prop_assert_eq!(&before, &kb_bytes(&e2), "step {}: abort mutated KB", i);
+                    }
+                },
+                Step::Md(dims) => match e2.try_select_range_md(&faulty, dims, &mut r2) {
+                    Ok(s2) => {
+                        committed += 1;
+                        let s1 = e1.select_range_md(&clean, dims, &mut r1);
+                        prop_assert_eq!(s1.sorted(), s2.sorted(), "step {}", i);
+                    }
+                    Err(_) => {
+                        aborted += 1;
+                        prop_assert_eq!(&before, &kb_bytes(&e2), "step {}: abort mutated KB", i);
+                    }
+                },
+                Step::Sdplus(dims) => match e2.try_select_range_sdplus(&faulty, dims, &mut r2) {
+                    Ok(s2) => {
+                        committed += 1;
+                        let s1 = e1.select_range_sdplus(&clean, dims, &mut r1);
+                        prop_assert_eq!(s1.sorted(), s2.sorted(), "step {}", i);
+                    }
+                    Err(_) => {
+                        aborted += 1;
+                        prop_assert_eq!(&before, &kb_bytes(&e2), "step {}: abort mutated KB", i);
+                    }
+                },
+                Step::Conjunction(ps) => match e2.try_select_conjunction(&faulty, ps, &mut r2) {
+                    Ok(s2) => {
+                        committed += 1;
+                        let s1 = e1.select_conjunction(&clean, ps, &mut r1);
+                        prop_assert_eq!(s1.sorted(), s2.sorted(), "step {}", i);
+                    }
+                    Err(_) => {
+                        aborted += 1;
+                        prop_assert_eq!(&before, &kb_bytes(&e2), "step {}: abort mutated KB", i);
+                    }
+                },
+                Step::Insert(t) => match e2.try_insert(&faulty, *t) {
+                    Ok(o2) => {
+                        committed += 1;
+                        let o1 = e1.insert(&clean, *t);
+                        prop_assert_eq!(&o1, &o2, "step {}", i);
+                    }
+                    Err(_) => {
+                        aborted += 1;
+                        prop_assert_eq!(&before, &kb_bytes(&e2), "step {}: abort mutated KB", i);
+                        // e1 skips the insert too, so the engines keep
+                        // executing identical committed histories.
+                    }
+                },
+            }
+            // After every round, the committed histories must agree —
+            // except for inserts e2 aborted and e1 therefore skipped.
+            prop_assert_eq!(&kb_bytes(&e1), &kb_bytes(&e2), "step {}: histories diverged", i);
+        }
+        // The schedule must exercise both outcomes to prove anything.
+        prop_assert!(aborted > 0, "no query aborted — raise fault rates");
+        prop_assert!(committed > 0, "every query aborted — lower fault rates");
+    }
+}
+
+/// End-to-end with the real crypto stack: a corrupted ciphertext cell makes
+/// the trusted machine's integrity check fail, the oracle reports
+/// `Corruption`, the engine aborts the insert, and the knowledge base is
+/// byte-identical to its pre-insert state.
+#[test]
+fn corrupted_cell_aborts_real_oracle_insert_and_preserves_knowledge() {
+    use prkb_crypto::cipher::CIPHERTEXT_LEN;
+    use prkb_edbms::{DataOwner, EncryptedPredicate, OracleError, PlainTable, SpOracle, TmConfig};
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let values: Vec<u64> = (0..400).map(|_| rng.gen_range(0..1_000u64)).collect();
+    let plain = PlainTable::single_column("t", "x", values);
+    let owner = DataOwner::with_seed(10);
+    let mut table = owner.encrypt_table(&plain, &mut rng);
+    let tm = owner.trusted_machine(TmConfig::default());
+
+    // Warm the index so inserts must probe separators.
+    let mut engine: PrkbEngine<EncryptedPredicate> = PrkbEngine::new(EngineConfig::default());
+    engine.init_attr(0, 400);
+    {
+        let oracle = SpOracle::new(&table, &tm);
+        for bound in [200u64, 500, 800] {
+            let p = owner
+                .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, bound), &mut rng)
+                .expect("valid trapdoor");
+            engine.select(&oracle, &p, &mut rng);
+        }
+    }
+    assert!(
+        engine.knowledge(0).expect("indexed").k() > 1,
+        "warmup must split"
+    );
+
+    // A full-width garbage cell passes the arity check but fails the
+    // keyed integrity tag inside the TM.
+    let garbage = vec![0u8; CIPHERTEXT_LEN];
+    let bad_t = table.push_encrypted_row(&[&garbage]).expect("arity ok");
+    let oracle = SpOracle::new(&table, &tm);
+
+    let before = kb_bytes(&engine);
+    let err = engine
+        .try_insert(&oracle, bad_t)
+        .expect_err("corrupt cell must abort");
+    assert!(
+        matches!(
+            err,
+            prkb_core::QueryError::Oracle(OracleError::Corruption(_))
+        ),
+        "unexpected error class: {err}"
+    );
+    assert_eq!(
+        before,
+        kb_bytes(&engine),
+        "aborted insert mutated the knowledge base"
+    );
+
+    // The engine stays fully usable afterwards: a clean row still routes.
+    let cells = owner.encrypt_row("t", &[555], &mut rng);
+    let refs: Vec<&[u8]> = cells.iter().map(Vec::as_slice).collect();
+    let good_t = table.push_encrypted_row(&refs).expect("arity ok");
+    let oracle = SpOracle::new(&table, &tm);
+    engine
+        .try_insert(&oracle, good_t)
+        .expect("clean insert succeeds");
+    engine.knowledge(0).expect("indexed").check_invariants();
+}

@@ -27,9 +27,10 @@ pub mod db;
 pub mod encrypted;
 pub mod error;
 pub mod oracle;
-pub mod parallel;
 pub mod owner;
+pub mod parallel;
 pub mod predicate;
+pub mod resilience;
 pub mod schema;
 pub mod select;
 pub mod sql;
@@ -41,10 +42,12 @@ pub mod trusted;
 pub use db::Catalog;
 pub use encrypted::{EncryptedColumn, EncryptedTable};
 pub use error::EdbmsError;
-pub use oracle::{SelectionOracle, SpOracle};
+pub use oracle::{OracleError, SelectionOracle, SpOracle};
 pub use owner::DataOwner;
 pub use predicate::{ComparisonOp, Predicate};
+pub use resilience::{FaultConfig, FaultInjector, RetryOracle, RetryPolicy};
 pub use schema::{AttrId, Schema, TupleId};
+pub use select::{conjunctive_scan, linear_scan, try_conjunctive_scan, try_linear_scan};
 pub use sql::{parse as parse_sql, ParsedQuery, SqlError};
 pub use table::PlainTable;
 pub use trapdoor::{EncryptedPredicate, PredicateKind};

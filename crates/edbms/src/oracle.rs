@@ -3,14 +3,100 @@
 //!
 //! PRKB (the service provider's reasoning layer) never touches plaintext or
 //! ciphertext: all it can do is ask "does tuple `t` satisfy trapdoor `p`?"
-//! and observe the answer. That is exactly [`SelectionOracle::eval`]. The
-//! QPF-use counter exposed alongside is the paper's primary cost metric.
+//! and observe the answer. That is exactly [`SelectionOracle::try_eval`].
+//! The QPF-use counter exposed alongside is the paper's primary cost metric.
+//!
+//! In the paper's deployment model the QPF is served by a trusted machine
+//! that is physically separate from the service provider, so the boundary is
+//! a network/enclave hop that can fail. The oracle API is therefore
+//! *fallible*: `try_eval`/`try_eval_batch` return [`OracleError`], classified
+//! so callers can tell a retryable blip from storage corruption. The
+//! infallible [`SelectionOracle::eval`]/[`SelectionOracle::eval_batch`]
+//! wrappers remain for code that treats a boundary failure as a programming
+//! error (benchmarks, tests).
 
 use crate::encrypted::EncryptedTable;
-use crate::parallel;
+use crate::error::EdbmsError;
+use crate::parallel::{self, SettleOnDrop};
 use crate::schema::TupleId;
 use crate::trapdoor::{EncryptedPredicate, PredicateKind};
-use crate::trusted::TrustedMachine;
+use crate::trusted::{QpfSession, TrustedMachine};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Failure classes of the SP↔TM boundary.
+///
+/// The taxonomy mirrors what a real enclave/network hop produces: faults
+/// where the request never reached the trusted machine
+/// ([`OracleError::Transient`] — retryable, no QPF spent), faults where the
+/// TM did the work but the response was lost ([`OracleError::Timeout`] —
+/// retryable, the QPF use *was* spent), integrity failures
+/// ([`OracleError::Corruption`] — not retryable, the data itself is bad),
+/// fast-fail while a circuit breaker is open
+/// ([`OracleError::Unavailable`]), and non-recoverable protocol errors
+/// ([`OracleError::Fatal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The request never reached the trusted machine (lost message, enclave
+    /// momentarily unreachable). Retryable; no QPF use was spent.
+    Transient(String),
+    /// The trusted machine accepted the request but no response was observed
+    /// in time. Retryable; the QPF use was spent (the decrypt round-trip
+    /// happened — retries are real paper-cost).
+    Timeout(String),
+    /// A stored ciphertext or a response failed its integrity check.
+    /// Not retryable: the same bytes will fail again.
+    Corruption(String),
+    /// A circuit breaker is open: the boundary failed repeatedly and calls
+    /// fast-fail without reaching the trusted machine.
+    Unavailable {
+        /// Consecutive failed evaluations observed when the breaker opened.
+        failures: u32,
+    },
+    /// A non-recoverable protocol error (tuple/attribute out of range,
+    /// trapdoor for the wrong table, malformed batch).
+    Fatal(String),
+}
+
+impl OracleError {
+    /// Whether retrying the same call can succeed ([`OracleError::Transient`]
+    /// and [`OracleError::Timeout`] only).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OracleError::Transient(_) | OracleError::Timeout(_))
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Transient(what) => write!(f, "transient oracle failure: {what}"),
+            OracleError::Timeout(what) => write!(f, "oracle timeout: {what}"),
+            OracleError::Corruption(what) => write!(f, "oracle corruption: {what}"),
+            OracleError::Unavailable { failures } => {
+                write!(
+                    f,
+                    "oracle unavailable (circuit open after {failures} failures)"
+                )
+            }
+            OracleError::Fatal(what) => write!(f, "fatal oracle error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<EdbmsError> for OracleError {
+    fn from(e: EdbmsError) -> Self {
+        match e {
+            // Bad cell bytes or a garbled trapdoor payload: the stored data
+            // (or the response stream) is corrupt — retrying cannot help.
+            EdbmsError::Crypto(_) | EdbmsError::MalformedTrapdoor => {
+                OracleError::Corruption(e.to_string())
+            }
+            other => OracleError::Fatal(other.to_string()),
+        }
+    }
+}
 
 /// The Θ oracle of the paper's QPF model, plus the bookkeeping the
 /// service provider legitimately has (table size, liveness, cost counter).
@@ -18,21 +104,60 @@ pub trait SelectionOracle {
     /// The encrypted-predicate (trapdoor) type.
     type Pred: Clone;
 
-    /// Evaluates Θ(`pred`, tuple `t`). Every call costs one QPF use.
-    fn eval(&self, pred: &Self::Pred, t: TupleId) -> bool;
-
-    /// Batch form of [`SelectionOracle::eval`]: clears `out`, then fills it
-    /// with Θ(`pred`, `t`) for each `t` of `tuples`, in input order.
+    /// Evaluates Θ(`pred`, tuple `t`). Every evaluation that reaches the
+    /// trusted machine costs one QPF use — including failed ones, because
+    /// the decrypt round-trip is spent either way.
     ///
-    /// Contract: element-wise identical to calling `eval` per tuple, and
-    /// costs exactly `tuples.len()` QPF uses — implementations may hoist
-    /// per-predicate setup out of the loop or evaluate tuples in parallel,
-    /// but results and counts must not depend on batching or thread count.
-    fn eval_batch(&self, pred: &Self::Pred, tuples: &[TupleId], out: &mut Vec<bool>) {
+    /// # Errors
+    /// Returns an [`OracleError`] classifying the boundary failure.
+    fn try_eval(&self, pred: &Self::Pred, t: TupleId) -> Result<bool, OracleError>;
+
+    /// Batch form of [`SelectionOracle::try_eval`]: clears `out`, then fills
+    /// it with Θ(`pred`, `t`) for each `t` of `tuples`, in input order.
+    ///
+    /// Contract: element-wise identical to calling `try_eval` per tuple, and
+    /// a successful batch costs exactly `tuples.len()` QPF uses —
+    /// implementations may hoist per-predicate setup out of the loop or
+    /// evaluate tuples in parallel, but results and counts must not depend
+    /// on batching or thread count.
+    ///
+    /// # Errors
+    /// On failure `out`'s contents are unspecified (callers must not read
+    /// partial verdicts); the QPF counter reflects exactly the evaluations
+    /// actually performed before the batch was cancelled.
+    fn try_eval_batch(
+        &self,
+        pred: &Self::Pred,
+        tuples: &[TupleId],
+        out: &mut Vec<bool>,
+    ) -> Result<(), OracleError> {
         out.clear();
         out.reserve(tuples.len());
         for &t in tuples {
-            out.push(self.eval(pred, t));
+            out.push(self.try_eval(pred, t)?);
+        }
+        Ok(())
+    }
+
+    /// Infallible wrapper over [`SelectionOracle::try_eval`].
+    ///
+    /// # Panics
+    /// Panics on any oracle failure — fault-tolerant paths use `try_eval`.
+    fn eval(&self, pred: &Self::Pred, t: TupleId) -> bool {
+        match self.try_eval(pred, t) {
+            Ok(v) => v,
+            Err(e) => panic!("oracle failure: {e}"),
+        }
+    }
+
+    /// Infallible wrapper over [`SelectionOracle::try_eval_batch`].
+    ///
+    /// # Panics
+    /// Panics on any oracle failure — fault-tolerant paths use
+    /// `try_eval_batch`.
+    fn eval_batch(&self, pred: &Self::Pred, tuples: &[TupleId], out: &mut Vec<bool>) {
+        if let Err(e) = self.try_eval_batch(pred, tuples, out) {
+            panic!("oracle failure: {e}");
         }
     }
 
@@ -51,15 +176,14 @@ pub trait SelectionOracle {
 
 /// The real oracle: encrypted table + trusted machine.
 ///
-/// # Panics
-/// [`SelectionOracle::eval`] panics on storage corruption (bad cell bytes or
-/// a trapdoor for the wrong table): in this substrate those are programming
-/// errors, not runtime conditions — the real system would fail the query.
+/// Storage corruption (bad cell bytes), a trapdoor for the wrong table, or
+/// an out-of-range tuple id surface as [`OracleError`]s from the `try_*`
+/// methods; only the infallible convenience wrappers panic.
 #[derive(Debug, Clone, Copy)]
 pub struct SpOracle<'a> {
     table: &'a EncryptedTable,
     tm: &'a TrustedMachine,
-    /// Worker-count override for [`SelectionOracle::eval_batch`];
+    /// Worker-count override for [`SelectionOracle::try_eval_batch`];
     /// `None` defers to the `PRKB_THREADS` environment variable.
     threads: Option<usize>,
 }
@@ -68,7 +192,11 @@ impl<'a> SpOracle<'a> {
     /// Pairs an encrypted table with the trusted machine that can evaluate
     /// trapdoors over it.
     pub fn new(table: &'a EncryptedTable, tm: &'a TrustedMachine) -> Self {
-        SpOracle { table, tm, threads: None }
+        SpOracle {
+            table,
+            tm,
+            threads: None,
+        }
     }
 
     /// Sets an explicit worker count for batch evaluation, overriding the
@@ -92,64 +220,116 @@ impl<'a> SpOracle<'a> {
     pub fn tm(&self) -> &'a TrustedMachine {
         self.tm
     }
+
+    /// One lock-free evaluation through an open session, crediting the
+    /// performed decrypt to `guard` *before* propagating any failure so the
+    /// QPF counter stays exact on every path (error, cancel, unwind).
+    fn eval_in_session(
+        &self,
+        session: &QpfSession<'_>,
+        guard: &SettleOnDrop<'_, QpfSession<'_>>,
+        pred: &EncryptedPredicate,
+        t: TupleId,
+    ) -> Result<bool, OracleError> {
+        let cell = self.table.cell(pred.attr(), t)?;
+        let verdict = session.eval(cell);
+        guard.add(1); // the decrypt round-trip happened whether or not it succeeded
+        Ok(verdict?)
+    }
 }
 
 impl SelectionOracle for SpOracle<'_> {
     type Pred = EncryptedPredicate;
 
-    fn eval(&self, pred: &EncryptedPredicate, t: TupleId) -> bool {
-        let cell = self
-            .table
-            .cell(pred.attr(), t)
-            .expect("tuple id within table bounds");
-        self.tm.qpf(pred, cell).expect("well-formed cell and trapdoor")
+    fn try_eval(&self, pred: &EncryptedPredicate, t: TupleId) -> Result<bool, OracleError> {
+        let cell = self.table.cell(pred.attr(), t)?;
+        Ok(self.tm.qpf(pred, cell)?)
     }
 
     /// Lock-hoisted batch evaluation: one [`TrustedMachine::session`] per
     /// batch resolves the value cipher and decoded trapdoor (one lock
     /// round-trip instead of 3·n), per-tuple evaluation is lock-free, and
-    /// the QPF counter is settled with a single atomic add of
-    /// `tuples.len()`. Batches of at least
-    /// [`parallel::MIN_PARALLEL_BATCH`] tuples are split across scoped
-    /// worker threads when the oracle (or `PRKB_THREADS`) asks for more
-    /// than one; chunks are carved and written back in input order, so the
-    /// output is bit-identical at every thread count.
-    fn eval_batch(&self, pred: &EncryptedPredicate, tuples: &[TupleId], out: &mut Vec<bool>) {
+    /// the QPF counter is settled per worker with one atomic add. Batches of
+    /// at least [`parallel::MIN_PARALLEL_BATCH`] tuples are split across
+    /// scoped worker threads when the oracle (or `PRKB_THREADS`) asks for
+    /// more than one; chunks are carved and written back in input order, so
+    /// the output is bit-identical at every thread count.
+    ///
+    /// # Errors
+    /// A failing worker raises a cancellation flag; the other workers stop
+    /// at their next tuple, the scope joins everyone (no orphaned threads),
+    /// and the first error propagates. Each worker settles its performed
+    /// evaluations through a [`SettleOnDrop`] guard, so the QPF counter is
+    /// exact even when the batch is cancelled mid-flight.
+    fn try_eval_batch(
+        &self,
+        pred: &EncryptedPredicate,
+        tuples: &[TupleId],
+        out: &mut Vec<bool>,
+    ) -> Result<(), OracleError> {
         out.clear();
         if tuples.is_empty() {
-            return;
+            return Ok(());
         }
-        let session = self.tm.session(pred).expect("well-formed trapdoor");
+        let session = self.tm.session(pred).map_err(OracleError::from)?;
         let workers = parallel::effective_threads(self.threads, tuples.len());
         if workers <= 1 {
+            let guard = SettleOnDrop::new(&session);
             out.reserve(tuples.len());
             for &t in tuples {
-                let cell = self
-                    .table
-                    .cell(pred.attr(), t)
-                    .expect("tuple id within table bounds");
-                out.push(session.eval(cell).expect("well-formed cell and trapdoor"));
-            }
-        } else {
-            out.resize(tuples.len(), false);
-            let chunk = tuples.len().div_ceil(workers);
-            let session = &session;
-            let oracle = *self;
-            std::thread::scope(|s| {
-                for (ins, outs) in tuples.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                    s.spawn(move || {
-                        for (&t, o) in ins.iter().zip(outs.iter_mut()) {
-                            let cell = oracle
-                                .table
-                                .cell(pred.attr(), t)
-                                .expect("tuple id within table bounds");
-                            *o = session.eval(cell).expect("well-formed cell and trapdoor");
-                        }
-                    });
+                match self.eval_in_session(&session, &guard, pred, t) {
+                    Ok(v) => out.push(v),
+                    Err(e) => {
+                        out.clear(); // partial verdicts must not be readable
+                        return Err(e);
+                    }
                 }
-            });
+            }
+            return Ok(());
         }
-        session.settle(tuples.len() as u64);
+        out.resize(tuples.len(), false);
+        let chunk = tuples.len().div_ceil(workers);
+        let session = &session;
+        let oracle = *self;
+        let cancel = &AtomicBool::new(false);
+        let mut first_err: Option<OracleError> = None;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for (ins, outs) in tuples.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                handles.push(s.spawn(move || -> Result<(), OracleError> {
+                    let guard = SettleOnDrop::new(session);
+                    for (&t, o) in ins.iter().zip(outs.iter_mut()) {
+                        if cancel.load(Ordering::Relaxed) {
+                            return Ok(()); // another worker failed: stop early
+                        }
+                        match oracle.eval_in_session(session, &guard, pred, t) {
+                            Ok(v) => *o = v,
+                            Err(e) => {
+                                cancel.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        match first_err {
+            None => Ok(()),
+            Some(e) => {
+                out.clear(); // partial verdicts must not be readable
+                Err(e)
+            }
+        }
     }
 
     fn kind_of(&self, pred: &EncryptedPredicate) -> PredicateKind {
@@ -176,6 +356,7 @@ mod tests {
     use crate::predicate::{ComparisonOp, Predicate};
     use crate::table::PlainTable;
     use crate::trusted::TmConfig;
+    use prkb_crypto::cipher::CIPHERTEXT_LEN;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -197,5 +378,92 @@ mod tests {
         assert!(oracle.eval(&p, 1));
         assert!(oracle.eval(&p, 2));
         assert_eq!(oracle.qpf_uses(), 3);
+    }
+
+    #[test]
+    fn try_eval_classifies_failures() {
+        let owner = DataOwner::with_seed(8);
+        let mut rng = StdRng::seed_from_u64(8);
+        let plain = PlainTable::single_column("t", "x", vec![1, 5]);
+        let enc = owner.encrypt_table(&plain, &mut rng);
+        let tm = owner.trusted_machine(TmConfig::default());
+        let oracle = SpOracle::new(&enc, &tm);
+        // Out-of-range tuple: fatal, no QPF spent.
+        let p = owner
+            .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Ge, 3), &mut rng)
+            .unwrap();
+        assert!(matches!(
+            oracle.try_eval(&p, 99),
+            Err(OracleError::Fatal(_))
+        ));
+        assert_eq!(oracle.qpf_uses(), 0);
+        // Wrong-table trapdoor: the decrypt fails its integrity check —
+        // corruption, and the QPF use was spent (the round-trip happened).
+        let wrong = owner
+            .trapdoor("other", &Predicate::cmp(0, ComparisonOp::Ge, 3), &mut rng)
+            .unwrap();
+        assert!(matches!(
+            oracle.try_eval(&wrong, 0),
+            Err(OracleError::Corruption(_))
+        ));
+        assert_eq!(oracle.qpf_uses(), 1);
+    }
+
+    #[test]
+    fn batch_error_counts_exactly_and_clears_out() {
+        // A corrupted cell in the middle of a batch: the batch fails, the
+        // counter equals the number of decrypts actually performed, and the
+        // output holds no partial verdicts.
+        let owner = DataOwner::with_seed(9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let plain = PlainTable::single_column("t", "x", (0..10).collect());
+        let mut enc = owner.encrypt_table(&plain, &mut rng);
+        let garbage = vec![0u8; CIPHERTEXT_LEN]; // right width, wrong bytes: fails the tag check
+        let bad = enc.push_encrypted_row(&[&garbage]).expect("arity");
+        let tm = owner.trusted_machine(TmConfig::default());
+        let oracle = SpOracle::new(&enc, &tm);
+        let p = owner
+            .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, 5), &mut rng)
+            .unwrap();
+        let tuples: Vec<TupleId> = (0..=bad).collect();
+        let mut out = Vec::new();
+        let err = oracle.try_eval_batch(&p, &tuples, &mut out).unwrap_err();
+        assert!(matches!(err, OracleError::Corruption(_)), "{err}");
+        assert!(out.is_empty(), "no partial verdicts");
+        // Sequential path: evaluations 0..10 succeeded, the 11th failed
+        // after its decrypt attempt — all 11 are real QPF cost.
+        assert_eq!(oracle.qpf_uses(), 11);
+    }
+
+    #[test]
+    fn threaded_batch_error_cancels_and_keeps_counter_exact() {
+        let owner = DataOwner::with_seed(10);
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 600u32; // above MIN_PARALLEL_BATCH so workers actually spawn
+        let plain = PlainTable::single_column("t", "x", (0..n as u64).collect());
+        let mut enc = owner.encrypt_table(&plain, &mut rng);
+        let garbage = vec![0u8; CIPHERTEXT_LEN];
+        let bad = enc.push_encrypted_row(&[&garbage]).expect("arity");
+        let tm = owner.trusted_machine(TmConfig::default());
+        let oracle = SpOracle::new(&enc, &tm).with_threads(4);
+        let p = owner
+            .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, 100), &mut rng)
+            .unwrap();
+        let tuples: Vec<TupleId> = (0..=bad).collect();
+        let mut out = Vec::new();
+        let err = oracle.try_eval_batch(&p, &tuples, &mut out).unwrap_err();
+        assert!(matches!(err, OracleError::Corruption(_)), "{err}");
+        assert!(out.is_empty());
+        // Cancellation means not every tuple was evaluated, but every
+        // evaluation that happened was settled: 1 ≤ uses ≤ n + 1.
+        let uses = oracle.qpf_uses();
+        assert!((1..=n as u64 + 1).contains(&uses), "uses = {uses}");
+        // A clean batch afterwards works and counts exactly.
+        let good: Vec<TupleId> = (0..n).collect();
+        oracle
+            .try_eval_batch(&p, &good, &mut out)
+            .expect("clean batch");
+        assert_eq!(out.len(), n as usize);
+        assert_eq!(oracle.qpf_uses(), uses + n as u64);
     }
 }

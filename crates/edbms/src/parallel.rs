@@ -14,6 +14,8 @@
 //! settled with a single atomic add for the whole batch, so winners, splits,
 //! and counts are byte-identical at every thread count.
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Smallest batch worth spawning threads for: below this the per-thread
@@ -46,6 +48,71 @@ pub fn effective_threads(override_threads: Option<usize>, batch_len: usize) -> u
     }
 }
 
+/// A sink that can absorb a deferred QPF-use settlement.
+///
+/// Implemented by [`crate::trusted::QpfSession`] (the real counter) and by
+/// [`AtomicU64`] (so the settlement machinery is unit-testable without a
+/// trusted machine).
+pub trait SettleTarget {
+    /// Credits `uses` evaluations to the underlying counter.
+    fn settle(&self, uses: u64);
+}
+
+impl SettleTarget for crate::trusted::QpfSession<'_> {
+    fn settle(&self, uses: u64) {
+        crate::trusted::QpfSession::settle(self, uses);
+    }
+}
+
+impl SettleTarget for AtomicU64 {
+    fn settle(&self, uses: u64) {
+        self.fetch_add(uses, Ordering::Relaxed);
+    }
+}
+
+/// Unwind-safe deferred settlement for one batch worker.
+///
+/// Each worker counts its evaluations locally (one non-atomic increment per
+/// tuple) and the guard settles the total with a single atomic add when it
+/// drops — on normal exit, on early error return, *and* during a panic
+/// unwind. This is what keeps the QPF counter exact when a batch is
+/// cancelled mid-flight: work already performed is real paper-cost and must
+/// never be lost to an abandoned settle call at the end of the batch.
+#[derive(Debug)]
+pub struct SettleOnDrop<'a, T: SettleTarget> {
+    target: &'a T,
+    count: Cell<u64>,
+}
+
+impl<'a, T: SettleTarget> SettleOnDrop<'a, T> {
+    /// Starts a guard crediting `target` on drop.
+    pub fn new(target: &'a T) -> Self {
+        SettleOnDrop {
+            target,
+            count: Cell::new(0),
+        }
+    }
+
+    /// Records `n` performed evaluations.
+    pub fn add(&self, n: u64) {
+        self.count.set(self.count.get() + n);
+    }
+
+    /// Evaluations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+}
+
+impl<T: SettleTarget> Drop for SettleOnDrop<'_, T> {
+    fn drop(&mut self) {
+        let n = self.count.get();
+        if n > 0 {
+            self.target.settle(n);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,7 +132,55 @@ mod tests {
 
     #[test]
     fn workers_never_exceed_tuples() {
-        assert_eq!(effective_threads(Some(64), 300), 64.min(300));
+        assert_eq!(effective_threads(Some(64), 300), 64);
         assert_eq!(effective_threads(Some(64), 257), 64);
+    }
+
+    #[test]
+    fn settle_on_drop_settles_once_on_normal_exit() {
+        let counter = AtomicU64::new(0);
+        {
+            let guard = SettleOnDrop::new(&counter);
+            guard.add(3);
+            guard.add(4);
+            assert_eq!(guard.count(), 7);
+            assert_eq!(counter.load(Ordering::Relaxed), 0, "settled only on drop");
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+    }
+
+    /// Regression test for the PR-1 under-settle bug: the batch driver used
+    /// to settle `tuples.len()` after the thread scope, so a panicking
+    /// worker unwound past the settle call and the whole batch went
+    /// uncounted. With per-worker settle-on-drop guards, every evaluation
+    /// performed before the crash is still credited.
+    #[test]
+    fn worker_panic_cannot_leave_counter_under_settled() {
+        let counter = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                for w in 0..4u64 {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        let guard = SettleOnDrop::new(counter);
+                        for i in 0..10u64 {
+                            guard.add(1); // count the evaluation as performed...
+                            if w == 2 && i == 4 {
+                                panic!("injected worker crash"); // ...then crash mid-batch
+                            }
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(
+            result.is_err(),
+            "the worker panic must propagate out of the scope"
+        );
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            3 * 10 + 5,
+            "evaluations performed before the crash are settled exactly once"
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! would drown the suite, and provides the ground-truth `expected_*` helpers
 //! the integration tests compare against.
 
-use crate::oracle::SelectionOracle;
+use crate::oracle::{OracleError, SelectionOracle};
 use crate::predicate::Predicate;
 use crate::schema::TupleId;
 use crate::trapdoor::PredicateKind;
@@ -101,9 +101,20 @@ impl PlainOracle {
 impl SelectionOracle for PlainOracle {
     type Pred = Predicate;
 
-    fn eval(&self, pred: &Predicate, t: TupleId) -> bool {
+    fn try_eval(&self, pred: &Predicate, t: TupleId) -> Result<bool, OracleError> {
+        // Counted before the bounds checks, matching the real pipeline where
+        // even a failed decrypt round-trip is a spent QPF use.
         self.uses.fetch_add(1, Ordering::Relaxed);
-        pred.eval(self.columns[pred.attr() as usize][t as usize])
+        let col = self.columns.get(pred.attr() as usize).ok_or_else(|| {
+            OracleError::Fatal(format!("attribute {} not in oracle", pred.attr()))
+        })?;
+        let v = col.get(t as usize).copied().ok_or_else(|| {
+            OracleError::Fatal(format!(
+                "tuple id {t} outside table bounds ({} slots)",
+                col.len()
+            ))
+        })?;
+        Ok(pred.eval(v))
     }
 
     fn kind_of(&self, pred: &Predicate) -> PredicateKind {
