@@ -43,7 +43,12 @@ fn warmed() -> (Knowledge<Predicate>, PlainOracle) {
 }
 
 /// Linear-sampling alternative to QFilter: probe one sample per partition.
-fn linear_filter(kb: &Knowledge<Predicate>, oracle: &PlainOracle, pred: &Predicate, rng: &mut StdRng) -> (usize, usize) {
+fn linear_filter(
+    kb: &Knowledge<Predicate>,
+    oracle: &PlainOracle,
+    pred: &Predicate,
+    rng: &mut StdRng,
+) -> (usize, usize) {
     let pop = kb.pop();
     let mut prev = None;
     let mut ns = (0usize, pop.k() - 1);
@@ -68,14 +73,24 @@ fn bench_qfilter_variants(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| {
             let c = rng.gen_range(0..30_000_000u64);
-            qfilter(kb.pop(), &oracle, &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng)
+            qfilter(
+                kb.pop(),
+                &oracle,
+                &Predicate::cmp(0, ComparisonOp::Lt, c),
+                &mut rng,
+            )
         })
     });
     g.bench_function("linear_sampling_filter", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| {
             let c = rng.gen_range(0..30_000_000u64);
-            linear_filter(&kb, &oracle, &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng)
+            linear_filter(
+                &kb,
+                &oracle,
+                &Predicate::cmp(0, ComparisonOp::Lt, c),
+                &mut rng,
+            )
         })
     });
     g.finish();
@@ -85,13 +100,23 @@ fn bench_qfilter_variants(c: &mut Criterion) {
     oracle.reset_uses();
     for _ in 0..100 {
         let c = rng.gen_range(0..30_000_000u64);
-        qfilter(kb.pop(), &oracle, &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng);
+        qfilter(
+            kb.pop(),
+            &oracle,
+            &Predicate::cmp(0, ComparisonOp::Lt, c),
+            &mut rng,
+        );
     }
     let binary = oracle.qpf_uses() / 100;
     oracle.reset_uses();
     for _ in 0..100 {
         let c = rng.gen_range(0..30_000_000u64);
-        linear_filter(&kb, &oracle, &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng);
+        linear_filter(
+            &kb,
+            &oracle,
+            &Predicate::cmp(0, ComparisonOp::Lt, c),
+            &mut rng,
+        );
     }
     let linear = oracle.qpf_uses() / 100;
     eprintln!("[ablation] QFilter QPF/query: binary={binary} linear={linear} (k={K})");
@@ -153,7 +178,7 @@ fn bench_md_policies(c: &mut Criterion) {
                     let mut engine: PrkbEngine<Predicate> = PrkbEngine::new(EngineConfig {
                         update: true,
                         md_policy: policy,
-                        threads: None,
+                        ..EngineConfig::default()
                     });
                     engine.init_attr(0, n);
                     engine.init_attr(1, n);

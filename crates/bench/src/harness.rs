@@ -102,7 +102,7 @@ pub fn fresh_engine(setup: &EncSetup, update: bool) -> PrkbEngine<EncryptedPredi
     let mut engine = PrkbEngine::new(EngineConfig {
         update,
         md_policy: MdUpdatePolicy::PartialOnly,
-        threads: None,
+        ..EngineConfig::default()
     });
     for a in 0..setup.columns.len() {
         engine.init_attr(a as AttrId, setup.table.len());
@@ -261,9 +261,7 @@ mod tests {
         let oracle = setup.oracle();
         let mut rng = StdRng::seed_from_u64(6);
         let p = setup.cmp_trapdoor(0, ComparisonOp::Lt, 50, &mut rng);
-        let (sel, m) = measure_span(&oracle, || {
-            prkb_edbms::select::linear_scan(&oracle, &p)
-        });
+        let (sel, m) = measure_span(&oracle, || prkb_edbms::select::linear_scan(&oracle, &p));
         assert_eq!(sel.len(), 50);
         assert_eq!(m.qpf_uses, 200, "one use per live tuple");
         assert!(m.ms >= 0.0);

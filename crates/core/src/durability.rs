@@ -1,0 +1,792 @@
+//! Durable, crash-recoverable PRKB: [`DurableEngine`].
+//!
+//! A [`PrkbEngine`](crate::engine::PrkbEngine) whose whole value is
+//! *accumulated* (every answered query refines the index, §5.3) must not
+//! lose that accumulation to a process crash. This module wraps the engine
+//! with the storage primitives from [`prkb_edbms::durability`]:
+//!
+//! * every committed mutation is journaled as [`RefinementOp`]s and written
+//!   as **one write-ahead-log transaction per committed operation**,
+//!   fsync'd *before* the query result is returned — an acknowledged
+//!   refinement is never lost;
+//! * the WAL is **checkpoint-rotated** by policy
+//!   ([`EngineConfig::checkpoint_wal_records`] /
+//!   [`EngineConfig::checkpoint_wal_bytes`]): the full per-attribute
+//!   snapshot ([`snapshot::save`]) is written to a temp file, atomically
+//!   renamed over the previous checkpoint, and only then is a fresh,
+//!   higher-**epoch** WAL started and the stale one removed;
+//! * **recovery** ([`DurableEngine::open`]) loads the last checkpoint,
+//!   replays the matching epoch's WAL, silently discards a torn tail
+//!   (partial final record — the residue of a crash mid-append), and
+//!   refuses to open on mid-log corruption (a bad record *followed by*
+//!   valid ones) — restoring an engine equivalent to some prefix of the
+//!   committed operations, `validate()`d before use.
+//!
+//! Epochs make the checkpoint/WAL pair crash-consistent without ever
+//! truncating a live log: the checkpoint at epoch `E+1` subsumes
+//! `wal.<E>.log` *by construction* (it serializes the in-memory state that
+//! log produced), so a crash between the checkpoint rename and the old
+//! log's removal cannot double-replay — recovery only ever reads the WAL
+//! whose epoch matches the checkpoint.
+
+use crate::engine::{EngineConfig, PrkbEngine, QueryError};
+use crate::knowledge::{Knowledge, RefinementOp, Separator};
+use crate::selection::Selection;
+use crate::snapshot::{self, SnapshotError, WireCodec};
+use crate::traits::SpPredicate;
+use prkb_edbms::durability::{
+    crc32, write_checkpoint, CrashInjector, CrashPoint, DurabilityError, TailStatus, Wal,
+};
+use prkb_edbms::{AttrId, SelectionOracle, TupleId};
+use rand::Rng;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Checkpoint file name inside the engine directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+/// Checkpoint magic.
+const CKPT_MAGIC: &[u8; 4] = b"PCKP";
+/// Checkpoint format version.
+const CKPT_VERSION: u16 = 1;
+
+/// Errors raised by the durable engine.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The storage layer failed (I/O, injected crash, WAL framing).
+    Storage(DurabilityError),
+    /// The query itself failed (oracle, uninitialized attribute). The
+    /// in-memory engine is abort-safe and nothing was logged.
+    Query(QueryError),
+    /// The checkpoint file is damaged. Checkpoints are written atomically,
+    /// so damage here is real corruption — the engine refuses to open.
+    CorruptCheckpoint(&'static str),
+    /// A CRC-valid WAL record failed to decode or to replay cleanly —
+    /// corruption that slipped past framing; the engine refuses to open.
+    CorruptWal(&'static str),
+    /// A previous durability failure left the in-memory state possibly
+    /// ahead of the disk; this handle refuses further work. Reopen from
+    /// disk ([`DurableEngine::open`]) to resume from the durable state.
+    Poisoned,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Storage(e) => write!(f, "{e}"),
+            DurableError::Query(e) => write!(f, "{e}"),
+            DurableError::CorruptCheckpoint(what) => write!(f, "corrupt checkpoint: {what}"),
+            DurableError::CorruptWal(what) => write!(f, "corrupt WAL record: {what}"),
+            DurableError::Poisoned => write!(
+                f,
+                "engine poisoned by an earlier durability failure; reopen from disk"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Storage(e) => Some(e),
+            DurableError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DurabilityError> for DurableError {
+    fn from(e: DurabilityError) -> Self {
+        DurableError::Storage(e)
+    }
+}
+
+impl From<QueryError> for DurableError {
+    fn from(e: QueryError) -> Self {
+        DurableError::Query(e)
+    }
+}
+
+impl From<SnapshotError> for DurableError {
+    fn from(e: SnapshotError) -> Self {
+        DurableError::CorruptCheckpoint(match e {
+            SnapshotError::BadHeader => "bad snapshot header",
+            SnapshotError::Truncated(w) | SnapshotError::Inconsistent(w) => w,
+        })
+    }
+}
+
+/// What [`DurableEngine::open`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a checkpoint was loaded (false ⇒ cold directory or
+    /// WAL-only recovery from epoch 0).
+    pub checkpoint_loaded: bool,
+    /// Committed WAL transactions replayed on top of the checkpoint.
+    pub records_replayed: u64,
+    /// Whether a torn tail was discarded from the WAL.
+    pub tail: TailStatus,
+    /// The active checkpoint/WAL epoch.
+    pub epoch: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: ops and transactions
+// ---------------------------------------------------------------------------
+
+/// One entry of a WAL transaction: an attribute initialization or a
+/// journaled mutation.
+#[derive(Debug, Clone)]
+pub enum TxnEntry<P> {
+    /// `initPRKB(attr, n)` — replayed as [`PrkbEngine::init_attr`].
+    Init {
+        /// The initialized attribute.
+        attr: AttrId,
+        /// Tuple-slot count at initialization.
+        n: u64,
+    },
+    /// A journaled mutation of one attribute's knowledge base.
+    Op {
+        /// The mutated attribute.
+        attr: AttrId,
+        /// The mutation.
+        op: RefinementOp<P>,
+    },
+}
+
+fn encode_op<P: WireCodec>(op: &RefinementOp<P>, out: &mut Vec<u8>) {
+    match op {
+        RefinementOp::Split {
+            rank,
+            left,
+            right,
+            sep,
+        } => {
+            out.push(0);
+            out.extend_from_slice(&(*rank as u64).to_le_bytes());
+            snapshot::encode_separator_into(sep.as_ref(), out);
+            out.extend_from_slice(&(left.len() as u32).to_le_bytes());
+            for t in left {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            out.extend_from_slice(&(right.len() as u32).to_le_bytes());
+            for t in right {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+        RefinementOp::Delete { tuple } => {
+            out.push(1);
+            out.extend_from_slice(&tuple.to_le_bytes());
+        }
+        RefinementOp::Park { tuple, lo, hi } => {
+            out.push(2);
+            out.extend_from_slice(&tuple.to_le_bytes());
+            out.extend_from_slice(&(*lo as u64).to_le_bytes());
+            out.extend_from_slice(&(*hi as u64).to_le_bytes());
+        }
+        RefinementOp::Place { tuple, rank } => {
+            out.push(3);
+            out.extend_from_slice(&tuple.to_le_bytes());
+            out.extend_from_slice(&(*rank as u64).to_le_bytes());
+        }
+        RefinementOp::Solo { tuple } => {
+            out.push(4);
+            out.extend_from_slice(&tuple.to_le_bytes());
+        }
+        RefinementOp::Refine {
+            cut,
+            left_label,
+            outputs,
+        } => {
+            out.push(5);
+            out.extend_from_slice(&(*cut as u64).to_le_bytes());
+            out.push(u8::from(*left_label));
+            out.extend_from_slice(&(outputs.len() as u32).to_le_bytes());
+            for (t, o) in outputs {
+                out.extend_from_slice(&t.to_le_bytes());
+                out.push(u8::from(*o));
+            }
+        }
+    }
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], DurableError> {
+    let s = bytes
+        .get(*pos..*pos + n)
+        .ok_or(DurableError::CorruptWal("record truncated"))?;
+    *pos += n;
+    Ok(s)
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, DurableError> {
+    Ok(u32::from_le_bytes(
+        take(bytes, pos, 4)?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, DurableError> {
+    Ok(u64::from_le_bytes(
+        take(bytes, pos, 8)?.try_into().expect("8 bytes"),
+    ))
+}
+
+fn take_tuples(bytes: &[u8], pos: &mut usize) -> Result<Vec<TupleId>, DurableError> {
+    let n = take_u32(bytes, pos)? as usize;
+    // Bound the allocation against the stream before trusting the count.
+    if n > bytes.len().saturating_sub(*pos) / 4 {
+        return Err(DurableError::CorruptWal("tuple list count lies"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(take_u32(bytes, pos)?);
+    }
+    Ok(out)
+}
+
+fn decode_sep<P: WireCodec>(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Option<Separator<P>>, DurableError> {
+    snapshot::decode_separator(bytes, pos).map_err(|_| DurableError::CorruptWal("separator"))
+}
+
+fn decode_op<P: WireCodec>(bytes: &[u8], pos: &mut usize) -> Result<RefinementOp<P>, DurableError> {
+    let tag = take(bytes, pos, 1)?[0];
+    Ok(match tag {
+        0 => {
+            let rank = take_u64(bytes, pos)? as usize;
+            let sep = decode_sep(bytes, pos)?;
+            let left = take_tuples(bytes, pos)?;
+            let right = take_tuples(bytes, pos)?;
+            RefinementOp::Split {
+                rank,
+                left,
+                right,
+                sep,
+            }
+        }
+        1 => RefinementOp::Delete {
+            tuple: take_u32(bytes, pos)?,
+        },
+        2 => RefinementOp::Park {
+            tuple: take_u32(bytes, pos)?,
+            lo: take_u64(bytes, pos)? as usize,
+            hi: take_u64(bytes, pos)? as usize,
+        },
+        3 => RefinementOp::Place {
+            tuple: take_u32(bytes, pos)?,
+            rank: take_u64(bytes, pos)? as usize,
+        },
+        4 => RefinementOp::Solo {
+            tuple: take_u32(bytes, pos)?,
+        },
+        5 => {
+            let cut = take_u64(bytes, pos)? as usize;
+            let left_label = take(bytes, pos, 1)?[0] != 0;
+            let n = take_u32(bytes, pos)? as usize;
+            if n > bytes.len().saturating_sub(*pos) / 5 {
+                return Err(DurableError::CorruptWal("refine output count lies"));
+            }
+            let mut outputs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t = take_u32(bytes, pos)?;
+                let o = take(bytes, pos, 1)?[0] != 0;
+                outputs.push((t, o));
+            }
+            RefinementOp::Refine {
+                cut,
+                left_label,
+                outputs,
+            }
+        }
+        _ => return Err(DurableError::CorruptWal("unknown op tag")),
+    })
+}
+
+/// Encodes one WAL transaction payload: `count u32 | entries`, entry =
+/// `kind u8` (0 = Init `attr u32 | n u64`, 1 = Op `attr u32 | op`).
+pub fn encode_txn<P: WireCodec>(entries: &[TxnEntry<P>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.len() * 16);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        match e {
+            TxnEntry::Init { attr, n } => {
+                out.push(0);
+                out.extend_from_slice(&attr.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            TxnEntry::Op { attr, op } => {
+                out.push(1);
+                out.extend_from_slice(&attr.to_le_bytes());
+                encode_op(op, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes one WAL transaction payload.
+///
+/// # Errors
+/// [`DurableError::CorruptWal`] on any structural damage (these payloads sit
+/// behind a CRC, so damage here means corruption beyond bit-rot framing).
+pub fn decode_txn<P: WireCodec>(bytes: &[u8]) -> Result<Vec<TxnEntry<P>>, DurableError> {
+    let mut pos = 0usize;
+    let count = take_u32(bytes, &mut pos)? as usize;
+    // An Init entry is 13 bytes; every Op is at least 10. Bound by the
+    // smaller before allocating.
+    if count > bytes.len().saturating_sub(pos) / 10 + 1 {
+        return Err(DurableError::CorruptWal("entry count lies"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let kind = take(bytes, &mut pos, 1)?[0];
+        let attr = take_u32(bytes, &mut pos)?;
+        entries.push(match kind {
+            0 => TxnEntry::Init {
+                attr,
+                n: take_u64(bytes, &mut pos)?,
+            },
+            1 => TxnEntry::Op {
+                attr,
+                op: decode_op(bytes, &mut pos)?,
+            },
+            _ => return Err(DurableError::CorruptWal("unknown entry kind")),
+        });
+    }
+    if pos != bytes.len() {
+        return Err(DurableError::CorruptWal("trailing bytes in record"));
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: checkpoints
+// ---------------------------------------------------------------------------
+
+/// Serializes the full engine state:
+/// `"PCKP" | version u16 | epoch u64 | n_attrs u32 |`
+/// `(attr u32 | len u64 | snapshot bytes)* | crc32 u32` — the checksum
+/// covers everything before it.
+fn encode_checkpoint<P: SpPredicate + WireCodec>(engine: &PrkbEngine<P>, epoch: u64) -> Vec<u8> {
+    let mut attrs: Vec<AttrId> = engine.attrs().collect();
+    attrs.sort_unstable();
+    let mut out = Vec::new();
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+    for attr in attrs {
+        let snap = snapshot::save(engine.knowledge(attr).expect("attr enumerated above"));
+        out.extend_from_slice(&attr.to_le_bytes());
+        out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+        out.extend_from_slice(&snap);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Restored checkpoint payload: epoch + per-attribute knowledge.
+type CheckpointState<P> = (u64, Vec<(AttrId, Knowledge<P>)>);
+
+/// Parses a checkpoint file: `(epoch, per-attribute knowledge)`.
+fn decode_checkpoint<P: SpPredicate + WireCodec>(
+    bytes: &[u8],
+) -> Result<CheckpointState<P>, DurableError> {
+    let body_len = bytes
+        .len()
+        .checked_sub(4)
+        .ok_or(DurableError::CorruptCheckpoint("too short"))?;
+    let stored = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+    if crc32(&bytes[..body_len]) != stored {
+        return Err(DurableError::CorruptCheckpoint("checksum mismatch"));
+    }
+    let bytes = &bytes[..body_len];
+    let mut pos = 0usize;
+    let fail = |_| DurableError::CorruptCheckpoint("truncated");
+    if take(bytes, &mut pos, 4).map_err(fail)? != CKPT_MAGIC {
+        return Err(DurableError::CorruptCheckpoint("bad magic"));
+    }
+    let version = u16::from_le_bytes(
+        take(bytes, &mut pos, 2)
+            .map_err(fail)?
+            .try_into()
+            .expect("2 bytes"),
+    );
+    if version != CKPT_VERSION {
+        return Err(DurableError::CorruptCheckpoint("unknown version"));
+    }
+    let epoch = take_u64(bytes, &mut pos).map_err(fail)?;
+    let n_attrs = take_u32(bytes, &mut pos).map_err(fail)? as usize;
+    if n_attrs > bytes.len().saturating_sub(pos) / 12 {
+        return Err(DurableError::CorruptCheckpoint("attr count lies"));
+    }
+    let mut kbs = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        let attr = take_u32(bytes, &mut pos).map_err(fail)?;
+        let len = take_u64(bytes, &mut pos).map_err(fail)? as usize;
+        let snap = take(bytes, &mut pos, len).map_err(fail)?;
+        let kb: Knowledge<P> = snapshot::load(snap)
+            .map_err(|_| DurableError::CorruptCheckpoint("embedded snapshot"))?;
+        kbs.push((attr, kb));
+    }
+    if pos != body_len {
+        return Err(DurableError::CorruptCheckpoint("trailing bytes"));
+    }
+    Ok((epoch, kbs))
+}
+
+// ---------------------------------------------------------------------------
+// The durable engine
+// ---------------------------------------------------------------------------
+
+fn wal_name(epoch: u64) -> String {
+    format!("wal.{epoch}.log")
+}
+
+/// A [`PrkbEngine`] whose every committed mutation is made durable before
+/// the covering result is returned, and which recovers that state on
+/// [`open`](Self::open).
+///
+/// All query entry points mirror the engine's fallible API
+/// (`try_select*` / `try_insert` / `delete`), with one extra failure mode:
+/// a [`DurableError::Storage`] *after* the in-memory engine committed a
+/// refinement poisons the handle, because memory may now be ahead of disk.
+/// The on-disk state is still a consistent committed prefix — reopen to
+/// resume from it.
+#[derive(Debug)]
+pub struct DurableEngine<P> {
+    engine: PrkbEngine<P>,
+    wal: Wal,
+    dir: PathBuf,
+    epoch: u64,
+    crash: CrashInjector,
+    poisoned: bool,
+}
+
+impl<P: SpPredicate + WireCodec> DurableEngine<P> {
+    /// Opens (or creates) a durable engine rooted at `dir`, recovering any
+    /// previous state. Crash injection is armed from the
+    /// `PRKB_CRASH_POINT` environment variable (unset ⇒ disabled).
+    ///
+    /// # Errors
+    /// Storage errors, plus [`DurableError::CorruptCheckpoint`] /
+    /// [`DurableError::CorruptWal`] when the on-disk state is damaged
+    /// beyond the torn-tail case (which is silently discarded).
+    pub fn open(dir: &Path, config: EngineConfig) -> Result<(Self, RecoveryReport), DurableError> {
+        Self::open_with_crash(dir, config, CrashInjector::from_env())
+    }
+
+    /// [`open`](Self::open) with an explicit crash-injection schedule
+    /// (tests sweep every [`CrashPoint`]).
+    pub fn open_with_crash(
+        dir: &Path,
+        config: EngineConfig,
+        crash: CrashInjector,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        std::fs::create_dir_all(dir).map_err(DurabilityError::Io)?;
+        // A leftover temp file is a checkpoint that never completed; the
+        // rename never happened, so it is dead weight.
+        let _ = std::fs::remove_file(dir.join(format!("{CHECKPOINT_FILE}.tmp")));
+
+        let mut engine = PrkbEngine::new(config);
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let mut epoch = 0u64;
+        let mut checkpoint_loaded = false;
+        if ckpt_path.exists() {
+            let bytes = std::fs::read(&ckpt_path).map_err(DurabilityError::Io)?;
+            let (e, kbs) = decode_checkpoint::<P>(&bytes)?;
+            epoch = e;
+            for (attr, kb) in kbs {
+                engine.restore_attr(attr, kb);
+            }
+            checkpoint_loaded = true;
+        }
+
+        let wal_path = dir.join(wal_name(epoch));
+        let (wal, payloads, tail) = if wal_path.exists() {
+            Wal::open(&wal_path, crash.clone())?
+        } else {
+            (
+                Wal::create(&wal_path, crash.clone())?,
+                Vec::new(),
+                TailStatus::Clean,
+            )
+        };
+        let records_replayed = payloads.len() as u64;
+        for payload in payloads {
+            for entry in decode_txn::<P>(&payload)? {
+                match entry {
+                    TxnEntry::Init { attr, n } => engine.init_attr(attr, n as usize),
+                    TxnEntry::Op { attr, op } => engine
+                        .knowledge_mut(attr)
+                        .ok_or(DurableError::CorruptWal("op for unknown attribute"))?
+                        .apply_op(op),
+                }
+            }
+        }
+        for attr in engine.attrs().collect::<Vec<_>>() {
+            engine
+                .knowledge(attr)
+                .expect("attr enumerated above")
+                .validate()
+                .map_err(|_| DurableError::CorruptWal("replayed state fails validation"))?;
+        }
+
+        // Stale epochs (left by a crash inside checkpoint rotation) are
+        // subsumed by the checkpoint; drop them.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(e) = name
+                    .strip_prefix("wal.")
+                    .and_then(|s| s.strip_suffix(".log"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    if e != epoch {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+
+        engine.set_recording(true);
+        Ok((
+            DurableEngine {
+                engine,
+                wal,
+                dir: dir.to_path_buf(),
+                epoch,
+                crash,
+                poisoned: false,
+            },
+            RecoveryReport {
+                checkpoint_loaded,
+                records_replayed,
+                tail,
+                epoch,
+            },
+        ))
+    }
+
+    /// The wrapped engine (read-only introspection).
+    pub fn engine(&self) -> &PrkbEngine<P> {
+        &self.engine
+    }
+
+    /// The active checkpoint/WAL epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records in the active WAL (each = one committed operation).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// Whether an earlier durability failure poisoned this handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poison(&self) -> Result<(), DurableError> {
+        if self.poisoned {
+            Err(DurableError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Drains the journaled ops of the operation that just committed
+    /// in-memory and makes them durable as one WAL transaction, then
+    /// rotates the checkpoint if the policy says so. Every committed
+    /// operation writes exactly one record — also when it refined nothing —
+    /// so the WAL record count equals the committed-operation count.
+    fn commit(&mut self) -> Result<(), DurableError> {
+        let entries: Vec<TxnEntry<P>> = self
+            .engine
+            .take_ops()
+            .into_iter()
+            .map(|(attr, op)| TxnEntry::Op { attr, op })
+            .collect();
+        self.log_txn(&entries)
+    }
+
+    fn log_txn(&mut self, entries: &[TxnEntry<P>]) -> Result<(), DurableError> {
+        let payload = encode_txn(entries);
+        if let Err(e) = self.wal.append(&payload) {
+            // In-memory state is ahead of the log now; only a reopen can
+            // re-establish the memory == disk-prefix invariant.
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        self.maybe_checkpoint()
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), DurableError> {
+        let by_records = self.engine.config.checkpoint_wal_records;
+        let by_bytes = self.engine.config.checkpoint_wal_bytes;
+        if (by_records > 0 && self.wal.records() >= by_records)
+            || (by_bytes > 0 && self.wal.bytes() >= by_bytes)
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Forces a checkpoint rotation: snapshot → temp file → fsync → atomic
+    /// rename → fresh higher-epoch WAL → stale WAL removed. A crash at any
+    /// boundary recovers: before the rename the old pair is intact; after
+    /// it the new checkpoint subsumes the old WAL.
+    ///
+    /// # Errors
+    /// Any storage failure poisons the handle (disk state is still a
+    /// consistent committed prefix; reopen to resume).
+    pub fn checkpoint(&mut self) -> Result<(), DurableError> {
+        self.check_poison()?;
+        let next = self.epoch + 1;
+        let result: Result<(), DurableError> = (|| {
+            let payload = encode_checkpoint(&self.engine, next);
+            write_checkpoint(&self.dir, CHECKPOINT_FILE, &payload, &self.crash)?;
+            let new_wal = Wal::create(&self.dir.join(wal_name(next)), self.crash.clone())?;
+            self.crash.fire(CrashPoint::BeforeWalRetire)?;
+            let old_path = self.wal.path().to_path_buf();
+            self.wal = new_wal;
+            self.epoch = next;
+            let _ = std::fs::remove_file(old_path);
+            self.crash.fire(CrashPoint::AfterWalRetire)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    /// Durable `initPRKB`: initializes the attribute and logs the
+    /// initialization before returning.
+    ///
+    /// # Errors
+    /// Storage failures (which poison the handle).
+    pub fn init_attr(&mut self, attr: AttrId, n: usize) -> Result<(), DurableError> {
+        self.check_poison()?;
+        self.engine.init_attr(attr, n);
+        // The fresh knowledge base starts with journaling off; re-arm it.
+        self.engine.set_recording(true);
+        self.log_txn(&[TxnEntry::Init { attr, n: n as u64 }])
+    }
+
+    /// Durable single-predicate selection: the refinement this query made
+    /// is on disk before the result is returned.
+    ///
+    /// # Errors
+    /// [`DurableError::Query`] leaves both memory and disk untouched
+    /// (abort-safe engine); [`DurableError::Storage`] poisons the handle.
+    pub fn try_select<O, R>(
+        &mut self,
+        oracle: &O,
+        pred: &P,
+        rng: &mut R,
+    ) -> Result<Selection, DurableError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        self.check_poison()?;
+        let sel = self.engine.try_select(oracle, pred, rng)?;
+        self.commit()?;
+        Ok(sel)
+    }
+
+    /// Durable conjunction selection (see
+    /// [`PrkbEngine::try_select_conjunction`]).
+    ///
+    /// # Errors
+    /// As [`try_select`](Self::try_select).
+    pub fn try_select_conjunction<O, R>(
+        &mut self,
+        oracle: &O,
+        preds: &[P],
+        rng: &mut R,
+    ) -> Result<Selection, DurableError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        self.check_poison()?;
+        let sel = self.engine.try_select_conjunction(oracle, preds, rng)?;
+        self.commit()?;
+        Ok(sel)
+    }
+
+    /// Durable PRKB(MD) range selection (see
+    /// [`PrkbEngine::try_select_range_md`]).
+    ///
+    /// # Errors
+    /// As [`try_select`](Self::try_select).
+    pub fn try_select_range_md<O, R>(
+        &mut self,
+        oracle: &O,
+        dims: &[[P; 2]],
+        rng: &mut R,
+    ) -> Result<Selection, DurableError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        self.check_poison()?;
+        let sel = self.engine.try_select_range_md(oracle, dims, rng)?;
+        self.commit()?;
+        Ok(sel)
+    }
+
+    /// Durable PRKB(SD+) range selection (see
+    /// [`PrkbEngine::try_select_range_sdplus`]).
+    ///
+    /// # Errors
+    /// As [`try_select`](Self::try_select).
+    pub fn try_select_range_sdplus<O, R>(
+        &mut self,
+        oracle: &O,
+        dims: &[[P; 2]],
+        rng: &mut R,
+    ) -> Result<Selection, DurableError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        self.check_poison()?;
+        let sel = self.engine.try_select_range_sdplus(oracle, dims, rng)?;
+        self.commit()?;
+        Ok(sel)
+    }
+
+    /// Durable insert routing (see [`PrkbEngine::try_insert`]).
+    ///
+    /// # Errors
+    /// As [`try_select`](Self::try_select).
+    pub fn try_insert<O>(
+        &mut self,
+        oracle: &O,
+        t: TupleId,
+    ) -> Result<Vec<(AttrId, crate::insert::InsertOutcome)>, DurableError>
+    where
+        O: SelectionOracle<Pred = P>,
+    {
+        self.check_poison()?;
+        let outcomes = self.engine.try_insert(oracle, t)?;
+        self.commit()?;
+        Ok(outcomes)
+    }
+
+    /// Durable delete (see [`PrkbEngine::delete`]).
+    ///
+    /// # Errors
+    /// Storage failures (which poison the handle).
+    pub fn delete(&mut self, t: TupleId) -> Result<(), DurableError> {
+        self.check_poison()?;
+        self.engine.delete(t);
+        self.commit()
+    }
+}

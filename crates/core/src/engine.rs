@@ -67,6 +67,15 @@ pub struct EngineConfig {
     /// with its oracle, e.g. `SpOracle::with_threads`. Thread count never
     /// affects results or QPF-use counts — only wall-clock time.
     pub threads: Option<usize>,
+    /// Checkpoint rotation policy: rotate once the active write-ahead log
+    /// holds at least this many records (`0` disables count-based
+    /// rotation). Consulted only by
+    /// [`DurableEngine`](crate::durability::DurableEngine); a plain
+    /// [`PrkbEngine`] never checkpoints.
+    pub checkpoint_wal_records: u64,
+    /// Checkpoint rotation policy: rotate once the active write-ahead log
+    /// exceeds this many bytes (`0` disables size-based rotation).
+    pub checkpoint_wal_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +84,8 @@ impl Default for EngineConfig {
             update: true,
             md_policy: MdUpdatePolicy::PartialOnly,
             threads: None,
+            checkpoint_wal_records: 4096,
+            checkpoint_wal_bytes: 4 << 20,
         }
     }
 }
@@ -505,6 +516,41 @@ impl<P: SpPredicate> PrkbEngine<P> {
         for kb in self.kbs.values_mut() {
             kb.delete(t);
         }
+    }
+
+    /// Turns op journaling on or off for every attribute's knowledge base
+    /// (see [`Knowledge::set_recording`]). Attributes initialized later
+    /// start with journaling off; durable wrappers re-enable it after each
+    /// [`init_attr`](Self::init_attr).
+    pub fn set_recording(&mut self, on: bool) {
+        for kb in self.kbs.values_mut() {
+            kb.set_recording(on);
+        }
+    }
+
+    /// Drains every attribute's op journal, attribute-sorted (ops across
+    /// attributes are independent — each applies to its own knowledge base —
+    /// so sorting keeps the drained sequence deterministic while preserving
+    /// each attribute's commit order).
+    pub fn take_ops(&mut self) -> Vec<(AttrId, crate::knowledge::RefinementOp<P>)> {
+        let mut attrs: Vec<AttrId> = self.kbs.keys().copied().collect();
+        attrs.sort_unstable();
+        let mut out = Vec::new();
+        for attr in attrs {
+            let kb = self.kbs.get_mut(&attr).expect("attr enumerated above");
+            out.extend(kb.take_ops().into_iter().map(|op| (attr, op)));
+        }
+        out
+    }
+
+    /// Mutable knowledge access for the durability layer's replay path.
+    pub(crate) fn knowledge_mut(&mut self, attr: AttrId) -> Option<&mut Knowledge<P>> {
+        self.kbs.get_mut(&attr)
+    }
+
+    /// Installs a knowledge base restored from a checkpoint.
+    pub(crate) fn restore_attr(&mut self, attr: AttrId, kb: Knowledge<P>) {
+        self.kbs.insert(attr, kb);
     }
 
     /// Total index storage across attributes (Table 3 accounting).

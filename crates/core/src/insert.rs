@@ -162,8 +162,7 @@ pub fn apply_insert<P: SpPredicate>(
 ) -> InsertOutcome {
     match decision {
         InsertDecision::Solo => {
-            kb.pop_mut().ensure_slot(t);
-            kb.pop_mut().add_solo_partition(t);
+            kb.apply_solo(t);
             InsertOutcome::Placed { rank: 0 }
         }
         InsertDecision::Place { rank } => {

@@ -105,12 +105,76 @@ pub struct OverflowEntry {
     pub hi: usize,
 }
 
+/// One primitive, replayable PRKB mutation.
+///
+/// Every public mutator of [`Knowledge`] corresponds to exactly one variant;
+/// applying a recorded op to a byte-identical knowledge base (via
+/// [`Knowledge::apply_op`]) reproduces the mutation exactly. This is the
+/// unit the durability layer journals: a committed query drains its ops into
+/// one write-ahead-log transaction, and recovery replays them.
+#[derive(Debug, Clone)]
+pub enum RefinementOp<P> {
+    /// [`Knowledge::apply_split`]: split the partition at `rank`.
+    Split {
+        /// Rank of the split partition.
+        rank: usize,
+        /// Left-side members, in the order they were committed.
+        left: Vec<TupleId>,
+        /// Right-side members, in the order they were committed.
+        right: Vec<TupleId>,
+        /// The separator retained at the new cut, if any.
+        sep: Option<Separator<P>>,
+    },
+    /// [`Knowledge::delete`]: remove a tuple.
+    Delete {
+        /// The removed tuple.
+        tuple: TupleId,
+    },
+    /// [`Knowledge::park`]: park a tuple in overflow.
+    Park {
+        /// The parked tuple.
+        tuple: TupleId,
+        /// Lowest candidate rank.
+        lo: usize,
+        /// Highest candidate rank.
+        hi: usize,
+    },
+    /// [`Knowledge::place`]: place a tuple at a known rank.
+    Place {
+        /// The placed tuple.
+        tuple: TupleId,
+        /// Rank of the receiving partition.
+        rank: usize,
+    },
+    /// [`Knowledge::apply_solo`]: first tuple of an empty knowledge base.
+    Solo {
+        /// The tuple opening the solo partition.
+        tuple: TupleId,
+    },
+    /// [`Knowledge::refine_overflow`], with the oracle outputs that were
+    /// actually consumed materialized as `(tuple, Θ(p, t))` pairs — replay
+    /// must not (and cannot) re-ask the oracle.
+    Refine {
+        /// Boundary index of the refining cut.
+        cut: usize,
+        /// QPF output identifying the cut's left side.
+        left_label: bool,
+        /// The resolved outputs, one per overflow tuple the cut reached.
+        outputs: Vec<(TupleId, bool)>,
+    },
+}
+
 /// PRKB state for one attribute.
 #[derive(Debug, Clone)]
 pub struct Knowledge<P> {
     pop: Pop,
     seps: Vec<Option<Separator<P>>>,
     overflow: Vec<OverflowEntry>,
+    /// Ops recorded since the last [`take_ops`](Self::take_ops) drain.
+    /// Empty unless [`set_recording`](Self::set_recording) enabled the
+    /// journal (it is off by default: non-durable engines pay nothing).
+    journal: Vec<RefinementOp<P>>,
+    recording: bool,
 }
 
 impl<P: SpPredicate> Knowledge<P> {
@@ -120,6 +184,8 @@ impl<P: SpPredicate> Knowledge<P> {
             pop: Pop::init(n),
             seps: Vec::new(),
             overflow: Vec::new(),
+            journal: Vec::new(),
+            recording: false,
         }
     }
 
@@ -162,6 +228,14 @@ impl<P: SpPredicate> Knowledge<P> {
         right: Vec<TupleId>,
         sep: Option<Separator<P>>,
     ) {
+        if self.recording {
+            self.journal.push(RefinementOp::Split {
+                rank,
+                left: left.clone(),
+                right: right.clone(),
+                sep: sep.clone(),
+            });
+        }
         self.pop.split_at(rank, left, right);
         self.seps.insert(rank, sep);
         debug_assert_eq!(self.seps.len() + 1, self.pop.k());
@@ -180,6 +254,9 @@ impl<P: SpPredicate> Knowledge<P> {
     /// dropped along with one adjacent separator; overflow intervals are
     /// remapped conservatively.
     pub fn delete(&mut self, t: TupleId) {
+        if self.recording {
+            self.journal.push(RefinementOp::Delete { tuple: t });
+        }
         // Parked tuples can be deleted too.
         if let Some(pos) = self.overflow.iter().position(|e| e.tuple == t) {
             self.overflow.swap_remove(pos);
@@ -229,13 +306,32 @@ impl<P: SpPredicate> Knowledge<P> {
     pub fn park(&mut self, t: TupleId, lo: usize, hi: usize) {
         assert!(lo <= hi && hi < self.pop.k(), "malformed interval");
         assert!(self.pop.locate(t).is_none(), "tuple {t} already placed");
+        if self.recording {
+            self.journal.push(RefinementOp::Park { tuple: t, lo, hi });
+        }
         self.pop.ensure_slot(t);
         self.overflow.push(OverflowEntry { tuple: t, lo, hi });
     }
 
     /// Places a tuple directly into the partition at `rank`.
     pub fn place(&mut self, t: TupleId, rank: usize) {
+        if self.recording {
+            self.journal.push(RefinementOp::Place { tuple: t, rank });
+        }
         self.pop.place(t, rank);
+    }
+
+    /// Opens a solo partition for the first tuple of an empty knowledge
+    /// base (the `Solo` arm of an insert, §7.1).
+    ///
+    /// # Panics
+    /// Panics if the knowledge base already has partitions.
+    pub fn apply_solo(&mut self, t: TupleId) {
+        if self.recording {
+            self.journal.push(RefinementOp::Solo { tuple: t });
+        }
+        self.pop.ensure_slot(t);
+        self.pop.add_solo_partition(t);
     }
 
     /// Narrows overflow intervals using a cut: boundary `cut` (between ranks
@@ -255,10 +351,14 @@ impl<P: SpPredicate> Knowledge<P> {
         left_label: bool,
         outputs: impl Fn(TupleId) -> Option<bool>,
     ) {
+        let mut consumed: Vec<(TupleId, bool)> = Vec::new();
         let mut i = 0;
         while i < self.overflow.len() {
             let e = &mut self.overflow[i];
             if let Some(out) = outputs(e.tuple) {
+                if self.recording {
+                    consumed.push((e.tuple, out));
+                }
                 if out == left_label {
                     e.hi = e.hi.min(cut);
                 } else {
@@ -280,6 +380,70 @@ impl<P: SpPredicate> Knowledge<P> {
             }
             i += 1;
         }
+        if self.recording {
+            // Recorded after the sweep (the op needs the materialized
+            // outputs), which preserves op order: the sweep above never
+            // touches the journal itself.
+            self.journal.push(RefinementOp::Refine {
+                cut,
+                left_label,
+                outputs: consumed,
+            });
+        }
+    }
+
+    /// Turns op journaling on or off. Off (the default), the mutators record
+    /// nothing and non-durable engines pay no overhead; on, every committed
+    /// mutation is queued for [`take_ops`](Self::take_ops).
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Whether the op journal is recording.
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Drains the ops recorded since the previous drain, in commit order.
+    pub fn take_ops(&mut self) -> Vec<RefinementOp<P>> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Replays one recorded op, exactly as the original mutation ran.
+    ///
+    /// Replay never re-records (a recovery pass must not journal the ops it
+    /// is applying); the recording flag is restored afterwards.
+    ///
+    /// # Panics
+    /// Panics if the op does not fit this knowledge base's state — ops are
+    /// only replayable against a base byte-identical to the one they were
+    /// recorded on (the recovery path `validate()`s and surfaces corruption
+    /// errors before this can happen).
+    pub fn apply_op(&mut self, op: RefinementOp<P>) {
+        let was = self.recording;
+        self.recording = false;
+        match op {
+            RefinementOp::Split {
+                rank,
+                left,
+                right,
+                sep,
+            } => self.apply_split(rank, left, right, sep),
+            RefinementOp::Delete { tuple } => self.delete(tuple),
+            RefinementOp::Park { tuple, lo, hi } => self.park(tuple, lo, hi),
+            RefinementOp::Place { tuple, rank } => self.place(tuple, rank),
+            RefinementOp::Solo { tuple } => self.apply_solo(tuple),
+            RefinementOp::Refine {
+                cut,
+                left_label,
+                outputs,
+            } => {
+                let resolved: std::collections::HashMap<TupleId, bool> =
+                    outputs.into_iter().collect();
+                self.refine_overflow(cut, left_label, |t| resolved.get(&t).copied());
+            }
+        }
+        self.recording = was;
     }
 
     /// Storage footprint in bytes: the POP's canonical form, retained
@@ -331,11 +495,6 @@ impl<P: SpPredicate> Knowledge<P> {
         Ok(())
     }
 
-    /// Mutable access for the processing modules within this crate.
-    pub(crate) fn pop_mut(&mut self) -> &mut Pop {
-        &mut self.pop
-    }
-
     /// Raw parts for snapshotting.
     pub(crate) fn parts(&self) -> (&Pop, &[Option<Separator<P>>], &[OverflowEntry]) {
         (&self.pop, &self.seps, &self.overflow)
@@ -351,6 +510,8 @@ impl<P: SpPredicate> Knowledge<P> {
             pop,
             seps,
             overflow,
+            journal: Vec::new(),
+            recording: false,
         }
     }
 }

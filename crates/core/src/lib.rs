@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod between;
+pub mod durability;
 pub mod engine;
 pub mod extremes;
 pub mod insert;
@@ -72,10 +73,11 @@ pub mod snapshot;
 pub mod traits;
 mod update;
 
+pub use durability::{DurableEngine, DurableError, RecoveryReport};
 pub use engine::{EngineConfig, PrkbEngine, QueryError};
 pub use extremes::{extreme_candidates, top_m_candidates};
 pub use insert::{InsertDecision, InsertOutcome};
-pub use knowledge::{Knowledge, Separator};
+pub use knowledge::{Knowledge, RefinementOp, Separator};
 pub use md::{MdDim, MdUpdatePolicy};
 pub use pop::{PartId, Pop};
 pub use selection::{QueryStats, Selection};

@@ -103,6 +103,62 @@ impl WireCodec for Predicate {
     }
 }
 
+/// Appends one boundary's separator in the tagged wire form (tags 0–4;
+/// shared by snapshots and the durability layer's op journal).
+pub(crate) fn encode_separator_into<P: WireCodec>(s: Option<&Separator<P>>, out: &mut Vec<u8>) {
+    match s {
+        None => out.push(0),
+        Some(Separator::Cmp { pred, left_label }) => {
+            out.push(if *left_label { 2 } else { 1 });
+            pred.encode_into(out);
+        }
+        Some(Separator::Between { pred, edge }) => {
+            out.push(match edge {
+                BetweenEdge::InteriorLeft => 3,
+                BetweenEdge::InteriorRight => 4,
+            });
+            pred.encode_into(out);
+        }
+    }
+}
+
+/// Decodes one tagged separator starting at `bytes[*pos]`, advancing `pos`.
+pub(crate) fn decode_separator<P: WireCodec>(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Option<Separator<P>>, SnapshotError> {
+    let tag = *bytes
+        .get(*pos)
+        .ok_or(SnapshotError::Truncated("separator tag"))?;
+    *pos += 1;
+    if tag == 0 {
+        return Ok(None);
+    }
+    let (pred, used) =
+        P::decode(&bytes[*pos..]).ok_or(SnapshotError::Truncated("separator predicate"))?;
+    *pos += used;
+    let sep = match tag {
+        1 => Separator::Cmp {
+            pred,
+            left_label: false,
+        },
+        2 => Separator::Cmp {
+            pred,
+            left_label: true,
+        },
+        3 => Separator::Between {
+            pred,
+            edge: BetweenEdge::InteriorLeft,
+        },
+        4 => Separator::Between {
+            pred,
+            edge: BetweenEdge::InteriorRight,
+        },
+        _ => return Err(SnapshotError::Inconsistent("unknown separator tag")),
+    };
+    Ok(Some(sep))
+}
+
 /// Serializes a knowledge base.
 pub fn save<P: SpPredicate + WireCodec>(kb: &Knowledge<P>) -> Vec<u8> {
     let (pop, seps, overflow) = kb.parts();
@@ -116,20 +172,7 @@ pub fn save<P: SpPredicate + WireCodec>(kb: &Knowledge<P>) -> Vec<u8> {
         out.extend_from_slice(&r.to_le_bytes());
     }
     for s in seps {
-        match s {
-            None => out.push(0),
-            Some(Separator::Cmp { pred, left_label }) => {
-                out.push(if *left_label { 2 } else { 1 });
-                pred.encode_into(&mut out);
-            }
-            Some(Separator::Between { pred, edge }) => {
-                out.push(match edge {
-                    BetweenEdge::InteriorLeft => 3,
-                    BetweenEdge::InteriorRight => 4,
-                });
-                pred.encode_into(&mut out);
-            }
-        }
+        encode_separator_into(s.as_ref(), &mut out);
     }
     out.extend_from_slice(&(overflow.len() as u32).to_le_bytes());
     for e in overflow {
@@ -185,34 +228,7 @@ pub fn load<P: SpPredicate + WireCodec>(bytes: &[u8]) -> Result<Knowledge<P>, Sn
     let n_boundaries = k.saturating_sub(1);
     let mut seps: Vec<Option<Separator<P>>> = Vec::with_capacity(n_boundaries);
     for _ in 0..n_boundaries {
-        let tag = take(&mut pos, 1, "separator tag")?[0];
-        if tag == 0 {
-            seps.push(None);
-            continue;
-        }
-        let (pred, used) =
-            P::decode(&bytes[pos..]).ok_or(SnapshotError::Truncated("separator predicate"))?;
-        pos += used;
-        let sep = match tag {
-            1 => Separator::Cmp {
-                pred,
-                left_label: false,
-            },
-            2 => Separator::Cmp {
-                pred,
-                left_label: true,
-            },
-            3 => Separator::Between {
-                pred,
-                edge: BetweenEdge::InteriorLeft,
-            },
-            4 => Separator::Between {
-                pred,
-                edge: BetweenEdge::InteriorRight,
-            },
-            _ => return Err(SnapshotError::Inconsistent("unknown separator tag")),
-        };
-        seps.push(Some(sep));
+        seps.push(decode_separator(bytes, &mut pos)?);
     }
 
     let n_overflow = u32::from_le_bytes(

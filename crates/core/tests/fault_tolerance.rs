@@ -321,3 +321,126 @@ fn corrupted_cell_aborts_real_oracle_insert_and_preserves_knowledge() {
         .expect("clean insert succeeds");
     engine.knowledge(0).expect("indexed").check_invariants();
 }
+
+/// Satellite for the durability PR: a fault landing in the *middle* of a
+/// `try_eval_batch` (some verdicts already produced, the rest never
+/// evaluated) must not leak the partial verdict prefix into the knowledge
+/// base — abort-safety holds at batch granularity, not just per query.
+#[test]
+fn mid_batch_fault_leaks_no_partial_verdicts() {
+    use prkb_edbms::{OracleError, PredicateKind, SelectionOracle, TupleId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Delegates to [`PlainOracle`] but fails evaluation number `fail_at`
+    /// (1-based) with a non-retryable corruption error. Batch evaluation
+    /// routes through the default per-tuple `try_eval_batch`, so the fault
+    /// strikes after `fail_at - 1` verdicts of the batch were produced.
+    struct FailNth<'a> {
+        inner: &'a PlainOracle,
+        fail_at: u64,
+        calls: AtomicU64,
+    }
+
+    impl SelectionOracle for FailNth<'_> {
+        type Pred = Predicate;
+
+        fn try_eval(&self, pred: &Predicate, t: TupleId) -> Result<bool, OracleError> {
+            let idx = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if idx == self.fail_at {
+                return Err(OracleError::Corruption("mid-batch fault".into()));
+            }
+            self.inner.try_eval(pred, t)
+        }
+
+        fn kind_of(&self, pred: &Predicate) -> PredicateKind {
+            self.inner.kind_of(pred)
+        }
+
+        fn n_slots(&self) -> usize {
+            self.inner.n_slots()
+        }
+
+        fn is_live(&self, t: TupleId) -> bool {
+            self.inner.is_live(t)
+        }
+
+        fn qpf_uses(&self) -> u64 {
+            self.inner.qpf_uses()
+        }
+    }
+
+    let n = 300usize;
+    let clean = PlainOracle::from_columns(columns(n, 0, 71));
+    let mut engine = two_attr_engine(n);
+    let mut rng = StdRng::seed_from_u64(71);
+
+    // Warm one attribute so later queries use short NS-pair batches while
+    // attribute 1 still triggers full cold scans — both batch shapes get a
+    // mid-batch fault below.
+    for bound in [250u64, 500, 750] {
+        engine.select(
+            &clean,
+            &Predicate::cmp(0, ComparisonOp::Lt, bound),
+            &mut rng,
+        );
+    }
+
+    // A cold query on attribute 1 evaluates a full-scan batch of n tuples;
+    // fault its first, middle, and last evaluation in turn.
+    for fail_at in [1u64, (n as u64) / 2, n as u64] {
+        let faulty = FailNth {
+            inner: &clean,
+            fail_at,
+            calls: AtomicU64::new(0),
+        };
+        let before = kb_bytes(&engine);
+        let pred = Predicate::cmp(1, ComparisonOp::Lt, 600);
+        let err = engine
+            .try_select(&faulty, &pred, &mut rng)
+            .expect_err("scheduled fault must abort the query");
+        assert!(
+            matches!(
+                err,
+                prkb_core::QueryError::Oracle(OracleError::Corruption(_))
+            ),
+            "unexpected error class: {err}"
+        );
+        let calls = faulty.calls.load(Ordering::Relaxed);
+        assert_eq!(
+            calls, fail_at,
+            "fault at {fail_at}: batch must stop at the faulted evaluation"
+        );
+        assert_eq!(
+            before,
+            kb_bytes(&engine),
+            "fault at {fail_at}: partial batch verdicts leaked into the KB"
+        );
+    }
+
+    // Warm-path batch: a cut inside attribute 0's NS-pair evaluates a short
+    // batch; fault its second evaluation.
+    let faulty = FailNth {
+        inner: &clean,
+        fail_at: 2,
+        calls: AtomicU64::new(0),
+    };
+    let before = kb_bytes(&engine);
+    let pred = Predicate::cmp(0, ComparisonOp::Lt, 510);
+    engine
+        .try_select(&faulty, &pred, &mut rng)
+        .expect_err("scheduled fault must abort the warm query");
+    assert_eq!(
+        before,
+        kb_bytes(&engine),
+        "warm-path partial batch leaked into the KB"
+    );
+
+    // The engine is untouched, so the same query against the clean oracle
+    // commits and returns the exact expected selection.
+    let sel = engine
+        .try_select(&clean, &pred, &mut rng)
+        .expect("clean retry commits");
+    assert_eq!(sel.sorted(), clean.expected_select(&pred));
+    engine.knowledge(0).expect("indexed").check_invariants();
+    engine.knowledge(1).expect("indexed").check_invariants();
+}

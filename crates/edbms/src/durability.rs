@@ -1,0 +1,805 @@
+//! Durable-storage primitives: write-ahead log, atomic checkpoints, and
+//! crash-point injection.
+//!
+//! The PRKB's whole value is *accumulated* state — every answered query
+//! refines the index (paper §5.3) — so losing it on a crash silently resets
+//! the system to worst-case QPF cost. This module provides the
+//! payload-agnostic machinery a durable index needs (the PRKB-specific
+//! encoding lives in `prkb-core::durability`):
+//!
+//! * [`Wal`] — an append-only, CRC32-framed, length-prefixed log. Each
+//!   record is fsync'd before the caller releases the result it covers, so
+//!   an acknowledged refinement is never lost. Recovery replays the longest
+//!   valid prefix, distinguishing a **torn tail** (partial final record —
+//!   the expected shape of a crash mid-append; silently truncated) from
+//!   **mid-log corruption** (a bad record *followed by* valid ones — bitrot
+//!   or tampering; a hard error, the log refuses to open).
+//! * [`write_checkpoint`] — full-snapshot rotation: write to a temp file,
+//!   fsync, atomically rename over the previous checkpoint, fsync the
+//!   directory. A crash at any boundary leaves either the old or the new
+//!   checkpoint fully intact, never a mix.
+//! * [`CrashInjector`] — simulated process death at every write / fsync /
+//!   rename boundary ([`CrashPoint`]), including torn writes (a partial
+//!   record reaches the disk before the "crash"). Deterministic and
+//!   env-drivable via `PRKB_CRASH_POINT` (mirroring `PRKB_FAULT_SEED` from
+//!   the resilience layer), which is what the CI crash-sweep job uses.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// WAL file magic.
+pub const WAL_MAGIC: &[u8; 4] = b"PWAL";
+/// WAL format version.
+pub const WAL_VERSION: u16 = 1;
+/// WAL header length: magic, version, two reserved bytes.
+pub const WAL_HEADER_LEN: u64 = 8;
+/// Upper bound on a single record's payload; a length field above this is
+/// treated as damage, not as a 4 GiB allocation request.
+pub const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// CRC32 (IEEE 802.3, reflected) over `bytes` — the frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Small table built on demand; durability paths are I/O-bound so the
+    // 256-entry rebuild per call is irrelevant next to the fsync.
+    let mut table = [0u32; 256];
+    for (i, e) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *e = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// A write / fsync / rename boundary at which an injected crash can occur.
+///
+/// Every durable transition the WAL and checkpoint paths make has a hook
+/// immediately **after** it (and one before the first byte), so a sweep over
+/// all variants exercises every partially-persisted state a real `kill -9`
+/// could leave behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before any byte of the record reaches the WAL file.
+    BeforeWalAppend,
+    /// Mid-record: a *prefix* of the frame reaches the file (torn write).
+    MidWalAppend,
+    /// The full frame is written but not yet fsync'd.
+    AfterWalAppend,
+    /// The frame is written and fsync'd (the commit point).
+    AfterWalSync,
+    /// Before any byte of the checkpoint temp file is written.
+    BeforeCheckpointWrite,
+    /// Mid-checkpoint: a prefix of the snapshot reaches the temp file.
+    MidCheckpointWrite,
+    /// The temp file is fully written but not yet fsync'd.
+    AfterCheckpointWrite,
+    /// The temp file is fsync'd but not yet renamed into place.
+    AfterCheckpointSync,
+    /// The rename happened; the old WAL has not been retired yet.
+    AfterCheckpointRename,
+    /// The fresh epoch's WAL exists; the stale one has not been removed.
+    BeforeWalRetire,
+    /// Checkpoint rotation fully complete.
+    AfterWalRetire,
+}
+
+impl CrashPoint {
+    /// Every hook point, in pipeline order — the sweep the CI job and the
+    /// replay-equivalence proptest iterate over.
+    pub const ALL: [CrashPoint; 11] = [
+        CrashPoint::BeforeWalAppend,
+        CrashPoint::MidWalAppend,
+        CrashPoint::AfterWalAppend,
+        CrashPoint::AfterWalSync,
+        CrashPoint::BeforeCheckpointWrite,
+        CrashPoint::MidCheckpointWrite,
+        CrashPoint::AfterCheckpointWrite,
+        CrashPoint::AfterCheckpointSync,
+        CrashPoint::AfterCheckpointRename,
+        CrashPoint::BeforeWalRetire,
+        CrashPoint::AfterWalRetire,
+    ];
+
+    /// Stable lowercase name, as accepted by `PRKB_CRASH_POINT`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeWalAppend => "before_wal_append",
+            CrashPoint::MidWalAppend => "mid_wal_append",
+            CrashPoint::AfterWalAppend => "after_wal_append",
+            CrashPoint::AfterWalSync => "after_wal_sync",
+            CrashPoint::BeforeCheckpointWrite => "before_checkpoint_write",
+            CrashPoint::MidCheckpointWrite => "mid_checkpoint_write",
+            CrashPoint::AfterCheckpointWrite => "after_checkpoint_write",
+            CrashPoint::AfterCheckpointSync => "after_checkpoint_sync",
+            CrashPoint::AfterCheckpointRename => "after_checkpoint_rename",
+            CrashPoint::BeforeWalRetire => "before_wal_retire",
+            CrashPoint::AfterWalRetire => "after_wal_retire",
+        }
+    }
+
+    /// Parses a point name (as produced by [`name`](Self::name)).
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        CrashPoint::ALL.into_iter().find(|p| p.name() == s.trim())
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors raised by the durability layer.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// A real I/O failure (disk full, permission, …).
+    Io(std::io::Error),
+    /// An injected crash fired: the process is considered dead at this
+    /// boundary. Whatever reached the disk before the hook stays there.
+    Crash(CrashPoint),
+    /// The WAL header is missing or from an unknown version.
+    BadWalHeader,
+    /// A CRC-failing or misframed record **followed by valid data** — not a
+    /// torn tail but damage inside the committed prefix. The log refuses to
+    /// open rather than silently drop acknowledged refinements.
+    CorruptRecord {
+        /// Zero-based index of the bad record.
+        record: u64,
+        /// Byte offset of its frame.
+        offset: u64,
+        /// What failed.
+        reason: &'static str,
+    },
+    /// A checkpoint file failed its integrity or structural checks.
+    CorruptCheckpoint(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O failure: {e}"),
+            DurabilityError::Crash(p) => write!(f, "injected crash at {p}"),
+            DurabilityError::BadWalHeader => write!(f, "not a PRKB WAL (bad magic/version)"),
+            DurabilityError::CorruptRecord {
+                record,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "WAL corrupt at record {record} (offset {offset}): {reason}; \
+                 valid records follow, refusing to discard committed state"
+            ),
+            DurabilityError::CorruptCheckpoint(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+/// Deterministic crash injection: fires [`DurabilityError::Crash`] at the
+/// `nth` occurrence of one chosen [`CrashPoint`].
+///
+/// Cloning shares the hit counter, so a [`Wal`] and the checkpoint path can
+/// count occurrences against one schedule — exactly like a single process
+/// dying once.
+#[derive(Debug, Clone, Default)]
+pub struct CrashInjector {
+    target: Option<(CrashPoint, u64)>,
+    hits: Arc<AtomicU64>,
+}
+
+impl CrashInjector {
+    /// Never fires.
+    pub fn disabled() -> Self {
+        CrashInjector::default()
+    }
+
+    /// Fires at the first occurrence of `point`.
+    pub fn at(point: CrashPoint) -> Self {
+        Self::at_nth(point, 1)
+    }
+
+    /// Fires at the `nth` (1-based) occurrence of `point`.
+    pub fn at_nth(point: CrashPoint, nth: u64) -> Self {
+        CrashInjector {
+            target: Some((point, nth.max(1))),
+            hits: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Reads `PRKB_CRASH_POINT` (`<name>` or `<name>:<nth>`), the hook the
+    /// CI crash-sweep job sets. Unset or unparsable ⇒ disabled.
+    pub fn from_env() -> Self {
+        let Ok(spec) = std::env::var("PRKB_CRASH_POINT") else {
+            return Self::disabled();
+        };
+        let (name, nth) = match spec.split_once(':') {
+            Some((n, c)) => (n, c.trim().parse::<u64>().unwrap_or(1)),
+            None => (spec.as_str(), 1),
+        };
+        match CrashPoint::parse(name) {
+            Some(p) => Self::at_nth(p, nth),
+            None => Self::disabled(),
+        }
+    }
+
+    /// Whether any crash is scheduled.
+    pub fn is_armed(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// Declares that execution reached `point`; returns the crash error if
+    /// the schedule says the process dies here.
+    pub fn fire(&self, point: CrashPoint) -> Result<(), DurabilityError> {
+        if let Some((target, nth)) = self.target {
+            if target == point && self.hits.fetch_add(1, Ordering::Relaxed) + 1 == nth {
+                return Err(DurabilityError::Crash(point));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What recovery found at the end of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailStatus {
+    /// The log ends exactly at a record boundary.
+    Clean,
+    /// A partial or checksum-failing final record was discarded (the
+    /// expected residue of a crash mid-append — never an acknowledged one).
+    TornDiscarded,
+}
+
+/// An open write-ahead log.
+///
+/// Record frame (all little-endian): `len u32 | crc32 u32 | payload`, where
+/// the checksum covers `len || payload` so a damaged length field cannot
+/// misframe silently. The file starts with an 8-byte header
+/// (`"PWAL" | version u16 | reserved u16`).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    crash: CrashInjector,
+    records: u64,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log at `path` (truncating any existing file),
+    /// with the header already durable.
+    pub fn create(path: &Path, crash: CrashInjector) -> Result<Wal, DurabilityError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&[0, 0]);
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            crash,
+            records: 0,
+            bytes: WAL_HEADER_LEN,
+        })
+    }
+
+    /// Opens an existing log, scans it, and returns the log positioned for
+    /// appending plus every valid payload in order.
+    ///
+    /// A torn tail (partial / checksum-failing *final* record) is physically
+    /// truncated away and reported as [`TailStatus::TornDiscarded`]. A bad
+    /// record with valid data after it is [`DurabilityError::CorruptRecord`]
+    /// — recovery refuses to reorder or skip committed history.
+    pub fn open(
+        path: &Path,
+        crash: CrashInjector,
+    ) -> Result<(Wal, Vec<Vec<u8>>, TailStatus), DurabilityError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (payloads, valid_len, tail) = scan_records(&bytes)?;
+        if valid_len < bytes.len() as u64 {
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        let records = payloads.len() as u64;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                crash,
+                records,
+                bytes: valid_len,
+            },
+            payloads,
+            tail,
+        ))
+    }
+
+    /// Appends one record and makes it durable. On `Ok`, the payload
+    /// survives any subsequent crash; callers release the covered result
+    /// only after this returns.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), DurabilityError> {
+        assert!(
+            payload.len() as u64 <= u64::from(MAX_RECORD_LEN),
+            "WAL record over MAX_RECORD_LEN"
+        );
+        self.crash.fire(CrashPoint::BeforeWalAppend)?;
+        let len = (payload.len() as u32).to_le_bytes();
+        let mut covered = Vec::with_capacity(4 + payload.len());
+        covered.extend_from_slice(&len);
+        covered.extend_from_slice(payload);
+        let crc = crc32(&covered).to_le_bytes();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&len);
+        frame.extend_from_slice(&crc);
+        frame.extend_from_slice(payload);
+
+        if let Err(e) = self.crash.fire(CrashPoint::MidWalAppend) {
+            // Torn write: a strict prefix of the frame reaches the disk
+            // before the process dies.
+            let torn = (frame.len() / 2).max(1).min(frame.len() - 1);
+            self.file.write_all(&frame[..torn])?;
+            self.file.sync_all()?; // make the torn state visible to reopen
+            return Err(e);
+        }
+        self.file.write_all(&frame)?;
+        self.crash.fire(CrashPoint::AfterWalAppend)?;
+        self.file.sync_data()?;
+        self.crash.fire(CrashPoint::AfterWalSync)?;
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Records appended or recovered so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total valid bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The injector this log fires.
+    pub fn crash_injector(&self) -> &CrashInjector {
+        &self.crash
+    }
+}
+
+/// Scans a WAL byte image: returns the valid payloads, the byte length of
+/// the valid prefix, and the tail status.
+///
+/// # Errors
+/// [`DurabilityError::BadWalHeader`] on a bad header;
+/// [`DurabilityError::CorruptRecord`] when a bad record is followed by
+/// valid data (mid-log corruption).
+pub fn scan_records(bytes: &[u8]) -> Result<(Vec<Vec<u8>>, u64, TailStatus), DurabilityError> {
+    if bytes.len() < WAL_HEADER_LEN as usize
+        || &bytes[..4] != WAL_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != WAL_VERSION
+    {
+        return Err(DurabilityError::BadWalHeader);
+    }
+    let mut payloads = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    loop {
+        match frame_at(bytes, pos) {
+            FrameStatus::End => return Ok((payloads, pos as u64, TailStatus::Clean)),
+            FrameStatus::Valid { payload, next } => {
+                payloads.push(payload.to_vec());
+                pos = next;
+            }
+            FrameStatus::Bad { reason, skip_to } => {
+                // Tail damage or mid-log corruption? If any *valid* frame
+                // exists past the bad one, committed records would be lost
+                // by truncating here — that is corruption, not a torn tail.
+                if skip_to.is_some_and(|o| chain_has_valid_frame(bytes, o)) {
+                    return Err(DurabilityError::CorruptRecord {
+                        record: payloads.len() as u64,
+                        offset: pos as u64,
+                        reason,
+                    });
+                }
+                return Ok((payloads, pos as u64, TailStatus::TornDiscarded));
+            }
+        }
+    }
+}
+
+enum FrameStatus<'a> {
+    /// Offset is exactly at end-of-image.
+    End,
+    /// A well-formed frame.
+    Valid { payload: &'a [u8], next: usize },
+    /// A damaged frame; `skip_to` is the end offset its length field claims
+    /// (when that offset is in bounds).
+    Bad {
+        reason: &'static str,
+        skip_to: Option<usize>,
+    },
+}
+
+fn frame_at(bytes: &[u8], pos: usize) -> FrameStatus<'_> {
+    let rem = bytes.len() - pos;
+    if rem == 0 {
+        return FrameStatus::End;
+    }
+    if rem < 8 {
+        return FrameStatus::Bad {
+            reason: "truncated frame header",
+            skip_to: None,
+        };
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD_LEN as usize {
+        return FrameStatus::Bad {
+            reason: "implausible record length",
+            skip_to: None,
+        };
+    }
+    let Some(end) = pos.checked_add(8 + len).filter(|&e| e <= bytes.len()) else {
+        return FrameStatus::Bad {
+            reason: "record extends past end of log",
+            skip_to: None,
+        };
+    };
+    let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    let mut covered = Vec::with_capacity(4 + len);
+    covered.extend_from_slice(&bytes[pos..pos + 4]);
+    covered.extend_from_slice(&bytes[pos + 8..end]);
+    if crc32(&covered) != crc {
+        return FrameStatus::Bad {
+            reason: "checksum mismatch",
+            skip_to: Some(end),
+        };
+    }
+    FrameStatus::Valid {
+        payload: &bytes[pos + 8..end],
+        next: end,
+    }
+}
+
+/// Whether any valid frame exists in `bytes[from..]` (used to tell a torn
+/// tail from mid-log corruption).
+fn chain_has_valid_frame(bytes: &[u8], mut from: usize) -> bool {
+    loop {
+        match frame_at(bytes, from) {
+            FrameStatus::Valid { .. } => return true,
+            FrameStatus::End | FrameStatus::Bad { skip_to: None, .. } => return false,
+            FrameStatus::Bad {
+                skip_to: Some(next),
+                ..
+            } => {
+                if next <= from {
+                    return false;
+                }
+                from = next;
+            }
+        }
+    }
+}
+
+/// Atomically replaces `final_name` in `dir` with `payload`: temp write,
+/// fsync, rename, directory fsync. A crash at any hook leaves either the
+/// previous file or the new one fully intact — never a mix — because the
+/// rename only happens after the temp file is durable.
+pub fn write_checkpoint(
+    dir: &Path,
+    final_name: &str,
+    payload: &[u8],
+    crash: &CrashInjector,
+) -> Result<PathBuf, DurabilityError> {
+    let tmp = dir.join(format!("{final_name}.tmp"));
+    let dst = dir.join(final_name);
+    crash.fire(CrashPoint::BeforeCheckpointWrite)?;
+    let mut file = File::create(&tmp)?;
+    if let Err(e) = crash.fire(CrashPoint::MidCheckpointWrite) {
+        let torn = (payload.len() / 2).min(payload.len().saturating_sub(1));
+        file.write_all(&payload[..torn])?;
+        file.sync_all()?;
+        return Err(e);
+    }
+    file.write_all(payload)?;
+    crash.fire(CrashPoint::AfterCheckpointWrite)?;
+    file.sync_all()?;
+    drop(file);
+    crash.fire(CrashPoint::AfterCheckpointSync)?;
+    std::fs::rename(&tmp, &dst)?;
+    crash.fire(CrashPoint::AfterCheckpointRename)?;
+    // Make the rename itself durable.
+    File::open(dir)?.sync_all()?;
+    Ok(dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("prkb-edbms-dur-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_reopen_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.0.log");
+        let mut wal = Wal::create(&path, CrashInjector::disabled()).expect("create");
+        for i in 0..20u32 {
+            wal.append(&i.to_le_bytes()).expect("append");
+        }
+        assert_eq!(wal.records(), 20);
+        drop(wal);
+        let (wal, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("reopen");
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(wal.records(), 20);
+        let expect: Vec<Vec<u8>> = (0..20u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        assert_eq!(payloads, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_payloads_are_legal_records() {
+        let dir = tmpdir("empty");
+        let path = dir.join("wal.0.log");
+        let mut wal = Wal::create(&path, CrashInjector::disabled()).expect("create");
+        wal.append(&[]).expect("append empty");
+        wal.append(b"x").expect("append");
+        drop(wal);
+        let (_, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("reopen");
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(payloads, vec![Vec::new(), b"x".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_truncated() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.0.log");
+        let mut wal = Wal::create(&path, CrashInjector::disabled()).expect("create");
+        wal.append(b"first").expect("append");
+        wal.append(b"second").expect("append");
+        drop(wal);
+        // Chop the last record in half.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("write");
+        let (wal, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("reopen");
+        assert_eq!(tail, TailStatus::TornDiscarded);
+        assert_eq!(payloads, vec![b"first".to_vec()]);
+        // The torn bytes are physically gone; a fresh append lands cleanly.
+        let mut wal = wal;
+        wal.append(b"third").expect("append after truncate");
+        drop(wal);
+        let (_, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("reopen 2");
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(payloads, vec![b"first".to_vec(), b"third".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_bit_flip_is_discarded_but_mid_log_flip_is_fatal() {
+        let dir = tmpdir("flips");
+        let path = dir.join("wal.0.log");
+        let mut wal = Wal::create(&path, CrashInjector::disabled()).expect("create");
+        wal.append(&[0xAA; 32]).expect("append");
+        wal.append(&[0xBB; 32]).expect("append");
+        wal.append(&[0xCC; 32]).expect("append");
+        drop(wal);
+        let good = std::fs::read(&path).expect("read");
+
+        // Flip a bit inside the LAST record's payload: torn-tail semantics.
+        let mut tail_flip = good.clone();
+        let last_payload_mid = good.len() - 16;
+        tail_flip[last_payload_mid] ^= 0x01;
+        std::fs::write(&path, &tail_flip).expect("write");
+        let (_, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("reopen");
+        assert_eq!(tail, TailStatus::TornDiscarded);
+        assert_eq!(payloads.len(), 2, "first two records survive");
+
+        // Flip a bit inside the FIRST record: valid records follow ⇒ hard
+        // error, the log refuses to open.
+        let mut mid_flip = good.clone();
+        mid_flip[WAL_HEADER_LEN as usize + 8 + 4] ^= 0x01;
+        std::fs::write(&path, &mid_flip).expect("write");
+        let err = Wal::open(&path, CrashInjector::disabled()).expect_err("must refuse");
+        assert!(
+            matches!(err, DurabilityError::CorruptRecord { record: 0, .. }),
+            "unexpected: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn length_field_damage_on_tail_is_discarded() {
+        let dir = tmpdir("lenflip");
+        let path = dir.join("wal.0.log");
+        let mut wal = Wal::create(&path, CrashInjector::disabled()).expect("create");
+        wal.append(&[1u8; 16]).expect("append");
+        wal.append(&[2u8; 16]).expect("append");
+        drop(wal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Blow up the last record's length field to an absurd value.
+        let last_frame = bytes.len() - 24;
+        bytes[last_frame..last_frame + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        let (_, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("reopen");
+        assert_eq!(tail, TailStatus::TornDiscarded);
+        assert_eq!(payloads, vec![vec![1u8; 16]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_headers_rejected() {
+        let dir = tmpdir("hdr");
+        let path = dir.join("wal.0.log");
+        std::fs::write(&path, b"nope").expect("write");
+        assert!(matches!(
+            Wal::open(&path, CrashInjector::disabled()),
+            Err(DurabilityError::BadWalHeader)
+        ));
+        std::fs::write(&path, b"PWAL\xFF\xFF\x00\x00").expect("write");
+        assert!(matches!(
+            Wal::open(&path, CrashInjector::disabled()),
+            Err(DurabilityError::BadWalHeader)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_torn_write_recovers_previous_records() {
+        let dir = tmpdir("injtorn");
+        let path = dir.join("wal.0.log");
+        let mut wal = Wal::create(&path, CrashInjector::disabled()).expect("create");
+        wal.append(b"committed").expect("append");
+        drop(wal);
+        // Reopen with a scheduled torn write on the next append.
+        let (mut wal, _, _) =
+            Wal::open(&path, CrashInjector::at(CrashPoint::MidWalAppend)).expect("reopen");
+        let err = wal
+            .append(b"doomed-record-payload")
+            .expect_err("must crash");
+        assert!(matches!(
+            err,
+            DurabilityError::Crash(CrashPoint::MidWalAppend)
+        ));
+        drop(wal);
+        // The torn record is on disk; recovery discards exactly it.
+        let (_, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("recover");
+        assert_eq!(tail, TailStatus::TornDiscarded);
+        assert_eq!(payloads, vec![b"committed".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_injector_counts_hits_across_clones() {
+        let inj = CrashInjector::at_nth(CrashPoint::AfterWalSync, 3);
+        let clone = inj.clone();
+        assert!(inj.fire(CrashPoint::AfterWalSync).is_ok());
+        assert!(clone.fire(CrashPoint::AfterWalSync).is_ok());
+        assert!(
+            inj.fire(CrashPoint::BeforeWalAppend).is_ok(),
+            "other points never fire"
+        );
+        assert!(
+            clone.fire(CrashPoint::AfterWalSync).is_err(),
+            "3rd hit fires"
+        );
+        assert!(
+            inj.fire(CrashPoint::AfterWalSync).is_ok(),
+            "fires at most once"
+        );
+    }
+
+    #[test]
+    fn crash_point_names_roundtrip() {
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::parse(p.name()), Some(p), "{p}");
+        }
+        assert_eq!(CrashPoint::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn checkpoint_write_is_atomic_under_crashes() {
+        let dir = tmpdir("ckpt");
+        // Seed an old checkpoint.
+        write_checkpoint(&dir, "checkpoint.bin", b"OLD", &CrashInjector::disabled()).expect("seed");
+        for point in [
+            CrashPoint::BeforeCheckpointWrite,
+            CrashPoint::MidCheckpointWrite,
+            CrashPoint::AfterCheckpointWrite,
+            CrashPoint::AfterCheckpointSync,
+        ] {
+            let err = write_checkpoint(
+                &dir,
+                "checkpoint.bin",
+                b"NEW-CHECKPOINT-PAYLOAD",
+                &CrashInjector::at(point),
+            )
+            .expect_err("must crash");
+            assert!(matches!(err, DurabilityError::Crash(_)));
+            let on_disk = std::fs::read(dir.join("checkpoint.bin")).expect("read");
+            assert_eq!(
+                on_disk, b"OLD",
+                "crash at {point} must keep the old file whole"
+            );
+        }
+        // Crash after the rename: the NEW file is fully in place.
+        let err = write_checkpoint(
+            &dir,
+            "checkpoint.bin",
+            b"NEW-CHECKPOINT-PAYLOAD",
+            &CrashInjector::at(CrashPoint::AfterCheckpointRename),
+        )
+        .expect_err("must crash");
+        assert!(matches!(
+            err,
+            DurabilityError::Crash(CrashPoint::AfterCheckpointRename)
+        ));
+        let on_disk = std::fs::read(dir.join("checkpoint.bin")).expect("read");
+        assert_eq!(on_disk, b"NEW-CHECKPOINT-PAYLOAD");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn env_spec_parsing() {
+        // Parsed manually (no process-global env mutation in tests): the
+        // spec grammar is `<name>` or `<name>:<nth>`.
+        let inj = CrashInjector::at_nth(CrashPoint::AfterWalSync, 2);
+        assert!(inj.is_armed());
+        assert!(!CrashInjector::disabled().is_armed());
+        assert_eq!(
+            CrashPoint::parse(" after_wal_sync "),
+            Some(CrashPoint::AfterWalSync)
+        );
+    }
+}

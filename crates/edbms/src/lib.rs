@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod db;
+pub mod durability;
 pub mod encrypted;
 pub mod error;
 pub mod oracle;
@@ -40,6 +41,7 @@ pub mod trapdoor;
 pub mod trusted;
 
 pub use db::Catalog;
+pub use durability::{CrashInjector, CrashPoint, DurabilityError, TailStatus, Wal};
 pub use encrypted::{EncryptedColumn, EncryptedTable};
 pub use error::EdbmsError;
 pub use oracle::{OracleError, SelectionOracle, SpOracle};

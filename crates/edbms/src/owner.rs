@@ -57,6 +57,8 @@ impl DataOwner {
         enc.bulk_load(|columns| {
             for (attr, col) in columns.iter_mut().enumerate() {
                 let cipher = self.value_cipher(schema.table(), attr as AttrId);
+                // Infallible by construction: `columns` is sized from the
+                // same schema `plain` carries, so every index resolves.
                 let values = plain
                     .column(attr as AttrId)
                     .expect("column count matches schema");
@@ -72,12 +74,7 @@ impl DataOwner {
 
     /// Encrypts a single row (for INSERT statements). Returns one
     /// fixed-width ciphertext cell per attribute, in schema order.
-    pub fn encrypt_row<R: RngCore>(
-        &self,
-        table: &str,
-        row: &[u64],
-        rng: &mut R,
-    ) -> Vec<Vec<u8>> {
+    pub fn encrypt_row<R: RngCore>(&self, table: &str, row: &[u64], rng: &mut R) -> Vec<Vec<u8>> {
         row.iter()
             .enumerate()
             .map(|(attr, &v)| {
@@ -163,7 +160,8 @@ impl DataOwner {
 
     fn trapdoor_cipher(&self, table: &str, attr: AttrId) -> ValueCipher {
         ValueCipher::with_suite(
-            self.master.derive(KeyPurpose::TrapdoorEncryption, table, attr),
+            self.master
+                .derive(KeyPurpose::TrapdoorEncryption, table, attr),
             self.suite,
         )
     }
@@ -191,8 +189,14 @@ mod tests {
         let enc = owner.encrypt_table(&plain, &mut rng);
         assert_eq!(enc.len(), 2);
         let tm = owner.trusted_machine(TmConfig::default());
-        assert_eq!(tm.decrypt_cell("t", 0, enc.cell(0, 0).unwrap()).unwrap(), 10);
-        assert_eq!(tm.decrypt_cell("t", 1, enc.cell(1, 1).unwrap()).unwrap(), 200);
+        assert_eq!(
+            tm.decrypt_cell("t", 0, enc.cell(0, 0).unwrap()).unwrap(),
+            10
+        );
+        assert_eq!(
+            tm.decrypt_cell("t", 1, enc.cell(1, 1).unwrap()).unwrap(),
+            200
+        );
     }
 
     #[test]

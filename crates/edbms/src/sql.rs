@@ -54,7 +54,10 @@ impl fmt::Display for SqlError {
             SqlError::Syntax(msg) => write!(f, "syntax error: {msg}"),
             SqlError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
             SqlError::TableMismatch { expected, actual } => {
-                write!(f, "query targets table {actual:?}, schema is for {expected:?}")
+                write!(
+                    f,
+                    "query targets table {actual:?}, schema is for {expected:?}"
+                )
             }
             SqlError::EmptyRange(lo, hi) => write!(f, "empty BETWEEN range {lo}..{hi}"),
         }
@@ -176,7 +179,11 @@ pub fn parse(input: &str, schema: &Schema) -> Result<ParsedQuery, SqlError> {
             pos += 1;
             t.clone()
         }
-        other => return Err(SqlError::Syntax(format!("expected table name, found {other:?}"))),
+        other => {
+            return Err(SqlError::Syntax(format!(
+                "expected table name, found {other:?}"
+            )))
+        }
     };
     if table != schema.table() {
         return Err(SqlError::TableMismatch {
@@ -215,11 +222,9 @@ fn parse_condition(toks: &[Tok], pos: &mut usize, schema: &Schema) -> Result<Pre
                     Ok(Predicate::cmp(attr, *op, *n))
                 }
                 Tok::Between => {
-                    let (Some(Tok::Number(lo)), Some(Tok::And), Some(Tok::Number(hi))) = (
-                        toks.get(*pos + 2),
-                        toks.get(*pos + 3),
-                        toks.get(*pos + 4),
-                    ) else {
+                    let (Some(Tok::Number(lo)), Some(Tok::And), Some(Tok::Number(hi))) =
+                        (toks.get(*pos + 2), toks.get(*pos + 3), toks.get(*pos + 4))
+                    else {
                         return Err(SqlError::Syntax(
                             "expected BETWEEN <number> AND <number>".into(),
                         ));
@@ -252,7 +257,9 @@ fn parse_condition(toks: &[Tok], pos: &mut usize, schema: &Schema) -> Result<Pre
             *pos += 3;
             Ok(Predicate::cmp(attr, flipped, *n))
         }
-        other => Err(SqlError::Syntax(format!("expected condition, found {other:?}"))),
+        other => Err(SqlError::Syntax(format!(
+            "expected condition, found {other:?}"
+        ))),
     }
 }
 
@@ -352,7 +359,10 @@ mod tests {
             Err(SqlError::Syntax(_))
         ));
         assert!(matches!(
-            parse("SELECT * FROM sales WHERE amount < 99999999999999999999999", &s),
+            parse(
+                "SELECT * FROM sales WHERE amount < 99999999999999999999999",
+                &s
+            ),
             Err(SqlError::Syntax(_))
         ));
         // Disjunction is outside the paper's selection fragment.
@@ -364,8 +374,61 @@ mod tests {
 
     #[test]
     fn parsed_predicates_evaluate() {
-        let q = parse("SELECT * FROM sales WHERE amount BETWEEN 5 AND 10", &schema()).unwrap();
+        let q = parse(
+            "SELECT * FROM sales WHERE amount BETWEEN 5 AND 10",
+            &schema(),
+        )
+        .unwrap();
         assert!(q.predicates[0].eval(7));
         assert!(!q.predicates[0].eval(11));
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// Unwrap audit pin: the server-side parse path must never
+            /// panic, whatever bytes arrive — malformed literals, truncated
+            /// keywords, stray operators all come back as `Err`.
+            fn arbitrary_input_never_panics(
+                codes in collection::vec(any::<u32>(), 0..80),
+            ) {
+                let input: String = codes
+                    .into_iter()
+                    .filter_map(|c| char::from_u32(c % 0x11_0000))
+                    .collect();
+                let _ = parse(&input, &schema());
+            }
+
+            /// Near-miss SQL: shuffled fragments of the real grammar, so
+            /// the fuzzer spends its budget deep inside the parser instead
+            /// of dying in the lexer.
+            fn near_sql_never_panics(
+                pieces in collection::vec(
+                    prop_oneof![
+                        Just("SELECT".to_string()),
+                        Just("*".to_string()),
+                        Just("FROM".to_string()),
+                        Just("sales".to_string()),
+                        Just("WHERE".to_string()),
+                        Just("AND".to_string()),
+                        Just("BETWEEN".to_string()),
+                        Just("amount".to_string()),
+                        Just("ghost".to_string()),
+                        Just("<".to_string()),
+                        Just(">=".to_string()),
+                        Just(";".to_string()),
+                        any::<u64>().prop_map(|n| n.to_string()),
+                        Just("99999999999999999999999".to_string()),
+                    ],
+                    0..12,
+                ),
+            ) {
+                let _ = parse(&pieces.join(" "), &schema());
+            }
+        }
     }
 }

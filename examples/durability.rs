@@ -1,0 +1,112 @@
+//! Kill-and-recover: the PRKB survives a crash without re-paying warm-up.
+//!
+//! Knowledge is bought with QPF uses — losing it to a crash re-bills the
+//! whole warm-up. This demo warms a durable engine, kills it with an
+//! injected torn-write crash mid-query, reopens the directory, and shows
+//! that (a) recovery replays the committed prefix from the write-ahead log
+//! and (b) the warmed query price survives, while a fresh engine pays the
+//! full cold scan again.
+//!
+//! Run with: `cargo run --example durability --release`
+
+use prkb::core::durability::DurableEngine;
+use prkb::core::{EngineConfig, PrkbEngine};
+use prkb::edbms::durability::{CrashInjector, CrashPoint, TailStatus};
+use prkb::edbms::{ComparisonOp, DataOwner, PlainTable, Predicate, SpOracle, TmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // ---- Owner + provider setup -----------------------------------------
+    let values: Vec<u64> = (0..60_000u64)
+        .map(|i| (i * 2_654_435_761) % 1_000_000)
+        .collect();
+    let n = values.len();
+    let plain = PlainTable::single_column("payroll", "salary", values);
+    let owner = DataOwner::with_seed(23);
+    let encrypted = owner.encrypt_table(&plain, &mut rng);
+    let tm = owner.trusted_machine(TmConfig::default());
+    let oracle = SpOracle::new(&encrypted, &tm);
+
+    let dir = std::env::temp_dir().join(format!("prkb-durability-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = EngineConfig {
+        checkpoint_wal_records: 16, // rotate often so the demo shows both layers
+        ..EngineConfig::default()
+    };
+    let trapdoor = |owner: &DataOwner, bound: u64, rng: &mut StdRng| {
+        owner
+            .trapdoor("payroll", &Predicate::cmp(0, ComparisonOp::Lt, bound), rng)
+            .expect("valid trapdoor")
+    };
+
+    // ---- Session 1: warm up, then crash mid-append -----------------------
+    // The injector tears the 40th WAL append half-way through the frame —
+    // the moment a real power cut would strike.
+    let crash = CrashInjector::at_nth(CrashPoint::MidWalAppend, 40);
+    let (mut engine, _) =
+        DurableEngine::open_with_crash(&dir, config, crash).expect("fresh directory");
+    engine.init_attr(0, n).expect("attr 0");
+
+    let mut committed = 0u32;
+    let mut cold_cost = 0u64;
+    for bound in (20_000..1_000_000).step_by(20_000) {
+        let p = trapdoor(&owner, bound as u64, &mut rng);
+        match engine.try_select(&oracle, &p, &mut rng) {
+            Ok(sel) => {
+                if committed == 0 {
+                    cold_cost = sel.stats.qpf_uses;
+                }
+                committed += 1;
+            }
+            Err(e) => {
+                println!("CRASH after {committed} committed queries: {e}");
+                break;
+            }
+        }
+    }
+    assert!(engine.is_poisoned(), "the torn write poisons the handle");
+    drop(engine); // the process "dies" — only the directory survives
+
+    // ---- Session 2: reopen and carry on ----------------------------------
+    let (mut engine, report) =
+        DurableEngine::open_with_crash(&dir, config, CrashInjector::disabled()).expect("recovery");
+    println!(
+        "recovered: checkpoint={} epoch={} wal_records_replayed={} tail={}",
+        report.checkpoint_loaded,
+        report.epoch,
+        report.records_replayed,
+        match report.tail {
+            TailStatus::TornDiscarded => "torn (discarded)",
+            TailStatus::Clean => "clean",
+        }
+    );
+
+    let p = trapdoor(&owner, 500_000, &mut rng);
+    let warm = engine.try_select(&oracle, &p, &mut rng).expect("clean run");
+
+    // A fresh (non-durable) engine answering the same query pays cold price.
+    let mut fresh: PrkbEngine<_> = PrkbEngine::new(EngineConfig::default());
+    fresh.init_attr(0, n);
+    let p2 = trapdoor(&owner, 500_000, &mut rng);
+    let cold = fresh.select(&oracle, &p2, &mut rng);
+
+    println!(
+        "same query:  recovered engine {:>6} QPF   fresh engine {:>6} QPF   (first-ever query paid {})",
+        warm.stats.qpf_uses, cold.stats.qpf_uses, cold_cost
+    );
+    assert_eq!(warm.sorted(), cold.sorted(), "recovered answers must agree");
+    assert!(
+        warm.stats.qpf_uses < cold.stats.qpf_uses / 10,
+        "recovered knowledge must keep the warmed price"
+    );
+    println!("knowledge survived the crash: warm-up was not re-billed");
+
+    if std::env::var_os("PRKB_KEEP_WAL").is_some() {
+        println!("durable state kept at {}", dir.display()); // walinspect fodder
+    } else {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,126 @@
+//! walinspect — dump a PRKB write-ahead log, flagging the first bad frame.
+//!
+//! Post-mortem companion to the durability layer (DESIGN.md §10): prints
+//! every committed record with its offset, payload size, and decoded
+//! refinement operations, then reports how the log ends — clean, with a
+//! torn (discarded) tail, or with hard mid-log corruption.
+//!
+//! Run with: `cargo run --example walinspect -- <wal-file | directory>`
+//! (a directory is searched for `wal.<epoch>.log` files).
+
+use prkb::core::durability::{decode_txn, TxnEntry};
+use prkb::core::RefinementOp;
+use prkb::edbms::durability::{scan_records, DurabilityError, TailStatus, WAL_HEADER_LEN};
+use prkb::edbms::{EncryptedPredicate, Predicate};
+use std::path::{Path, PathBuf};
+
+fn op_name<P>(op: &RefinementOp<P>) -> &'static str {
+    match op {
+        RefinementOp::Split { .. } => "split",
+        RefinementOp::Delete { .. } => "delete",
+        RefinementOp::Park { .. } => "park",
+        RefinementOp::Place { .. } => "place",
+        RefinementOp::Solo { .. } => "solo",
+        RefinementOp::Refine { .. } => "refine",
+    }
+}
+
+/// One human-readable line per transaction entry; tries the encrypted
+/// trapdoor codec first (the production format), then the plaintext one
+/// (test/demo logs).
+fn describe(payload: &[u8]) -> String {
+    fn fmt<P>(entries: &[TxnEntry<P>]) -> String {
+        if entries.is_empty() {
+            return "(empty txn)".into();
+        }
+        entries
+            .iter()
+            .map(|e| match e {
+                TxnEntry::Init { attr, n } => format!("init attr {attr} n={n}"),
+                TxnEntry::Op { attr, op } => format!("attr {attr} {}", op_name(op)),
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+    match decode_txn::<EncryptedPredicate>(payload) {
+        Ok(entries) => fmt(&entries),
+        Err(_) => match decode_txn::<Predicate>(payload) {
+            Ok(entries) => format!("{} [plain predicates]", fmt(&entries)),
+            Err(e) => format!("UNDECODABLE txn payload: {e}"),
+        },
+    }
+}
+
+fn inspect(path: &Path) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("== {} ({} bytes) ==", path.display(), bytes.len());
+    match scan_records(&bytes) {
+        Ok((records, valid_len, tail)) => {
+            let mut offset = WAL_HEADER_LEN;
+            for (i, rec) in records.iter().enumerate() {
+                println!(
+                    "  record {i:>4}  offset {offset:>8}  {:>6} payload bytes  {}",
+                    rec.len(),
+                    describe(rec)
+                );
+                offset += 8 + rec.len() as u64;
+            }
+            match tail {
+                TailStatus::Clean => println!("  tail: clean ({} records)", records.len()),
+                TailStatus::TornDiscarded => println!(
+                    "  tail: TORN — {} trailing bytes after offset {valid_len} are not a \
+                     valid frame and would be discarded on recovery",
+                    bytes.len() as u64 - valid_len
+                ),
+            }
+            Ok(())
+        }
+        Err(DurabilityError::CorruptRecord {
+            record,
+            offset,
+            reason,
+        }) => Err(format!(
+            "HARD CORRUPTION at record {record} (offset {offset}): {reason} — valid \
+             frames follow, so recovery refuses this log"
+        )),
+        Err(e) => Err(format!("unreadable WAL: {e}")),
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: walinspect <wal-file | directory>");
+        std::process::exit(2);
+    });
+    let path = PathBuf::from(arg);
+    let targets: Vec<PathBuf> = if path.is_dir() {
+        let mut wals: Vec<PathBuf> = std::fs::read_dir(&path)
+            .map(|rd| {
+                rd.flatten()
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("wal.") && n.ends_with(".log"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        wals.sort();
+        if wals.is_empty() {
+            eprintln!("no wal.<epoch>.log files in {}", path.display());
+            std::process::exit(2);
+        }
+        wals
+    } else {
+        vec![path]
+    };
+    let mut failed = false;
+    for t in &targets {
+        if let Err(e) = inspect(t) {
+            eprintln!("  {e}");
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

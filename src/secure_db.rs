@@ -19,7 +19,7 @@
 //! # Ok::<(), prkb::DbError>(())
 //! ```
 
-use prkb_core::{EngineConfig, PrkbEngine, Selection};
+use prkb_core::{EngineConfig, PrkbEngine, QueryError, Selection};
 use prkb_edbms::db::Catalog;
 use prkb_edbms::{
     parse_sql, DataOwner, EdbmsError, EncryptedPredicate, PlainTable, Schema, SpOracle, SqlError,
@@ -37,6 +37,9 @@ pub enum DbError {
     Sql(SqlError),
     /// Storage / crypto / arity failure in the EDBMS substrate.
     Edbms(EdbmsError),
+    /// The oracle failed mid-query (corrupt cell, lost response). The
+    /// knowledge base is untouched — the query can simply be reissued.
+    Query(QueryError),
     /// The query referenced a table the catalog does not have.
     UnknownTable(String),
 }
@@ -46,6 +49,7 @@ impl fmt::Display for DbError {
         match self {
             DbError::Sql(e) => write!(f, "{e}"),
             DbError::Edbms(e) => write!(f, "{e}"),
+            DbError::Query(e) => write!(f, "{e}"),
             DbError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
         }
     }
@@ -62,6 +66,12 @@ impl From<SqlError> for DbError {
 impl From<EdbmsError> for DbError {
     fn from(e: EdbmsError) -> Self {
         DbError::Edbms(e)
+    }
+}
+
+impl From<QueryError> for DbError {
+    fn from(e: QueryError) -> Self {
+        DbError::Query(e)
     }
 }
 
@@ -114,7 +124,9 @@ impl SecureDb {
     /// matching tuple ids plus QPF-cost accounting.
     ///
     /// # Errors
-    /// Fails on parse errors or unknown tables.
+    /// Fails on parse errors, unknown tables, or oracle failures
+    /// (surfaced as [`DbError::Query`] — never a panic; the knowledge base
+    /// is left exactly as it was, so the query can be retried).
     pub fn query(&mut self, sql: &str) -> Result<Selection, DbError> {
         // Bind against the named table's schema.
         let table_name = sql
@@ -144,14 +156,17 @@ impl SecureDb {
             .get_mut(&parsed.table)
             .ok_or_else(|| DbError::UnknownTable(parsed.table.clone()))?;
         let oracle = SpOracle::new(table, &self.tm);
-        Ok(engine.select_conjunction(&oracle, &trapdoors, &mut self.rng))
+        Ok(engine.try_select_conjunction(&oracle, &trapdoors, &mut self.rng)?)
     }
 
     /// Inserts a plaintext row: encrypted at the owner, appended at the
     /// provider, routed into every attribute's PRKB (O(β lg k) QPF).
     ///
     /// # Errors
-    /// Fails on unknown table or arity mismatch.
+    /// Fails on unknown table, arity mismatch, or an oracle failure while
+    /// routing the row into the index ([`DbError::Query`]); an aborted
+    /// routing leaves the knowledge base untouched, though the row itself
+    /// stays appended to the encrypted table.
     pub fn insert(&mut self, table: &str, row: &[u64]) -> Result<TupleId, DbError> {
         let cells = self.owner.encrypt_row(table, row, &mut self.rng);
         let refs: Vec<&[u8]> = cells.iter().map(Vec::as_slice).collect();
@@ -171,7 +186,7 @@ impl SecureDb {
             .get_mut(table)
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
         let oracle = SpOracle::new(tbl, &self.tm);
-        engine.insert(&oracle, t);
+        engine.try_insert(&oracle, t)?;
         Ok(t)
     }
 
@@ -238,9 +253,13 @@ mod tests {
     #[test]
     fn sql_roundtrip() {
         let mut db = db_with_sales();
-        let sel = db.query("SELECT * FROM sales WHERE amount < 5000").expect("valid");
+        let sel = db
+            .query("SELECT * FROM sales WHERE amount < 5000")
+            .expect("valid");
         assert!(!sel.tuples.is_empty());
-        let again = db.query("SELECT * FROM sales WHERE amount < 5000").expect("valid");
+        let again = db
+            .query("SELECT * FROM sales WHERE amount < 5000")
+            .expect("valid");
         assert_eq!(sel.sorted(), again.sorted());
         // Warm the index with a spread of cuts, then re-ask: the repeated
         // query must be far cheaper than the cold one.
@@ -248,7 +267,9 @@ mod tests {
             db.query(&format!("SELECT * FROM sales WHERE amount < {bound}"))
                 .expect("valid");
         }
-        let warmed = db.query("SELECT * FROM sales WHERE amount < 5000").expect("valid");
+        let warmed = db
+            .query("SELECT * FROM sales WHERE amount < 5000")
+            .expect("valid");
         assert_eq!(sel.sorted(), warmed.sorted());
         assert!(
             warmed.stats.qpf_uses < sel.stats.qpf_uses / 4,
@@ -272,10 +293,14 @@ mod tests {
     fn insert_delete_query() {
         let mut db = db_with_sales();
         let t = db.insert("sales", &[123_456, 77]).expect("arity ok");
-        let sel = db.query("SELECT * FROM sales WHERE amount > 100000").expect("valid");
+        let sel = db
+            .query("SELECT * FROM sales WHERE amount > 100000")
+            .expect("valid");
         assert_eq!(sel.sorted(), vec![t]);
         db.delete("sales", t).expect("live tuple");
-        let sel = db.query("SELECT * FROM sales WHERE amount > 100000").expect("valid");
+        let sel = db
+            .query("SELECT * FROM sales WHERE amount > 100000")
+            .expect("valid");
         assert!(sel.tuples.is_empty());
     }
 
@@ -301,7 +326,8 @@ mod tests {
     fn accounting_accessors() {
         let mut db = db_with_sales();
         assert_eq!(db.qpf_uses(), 0);
-        db.query("SELECT * FROM sales WHERE amount < 100").expect("valid");
+        db.query("SELECT * FROM sales WHERE amount < 100")
+            .expect("valid");
         assert!(db.qpf_uses() > 0);
         assert!(db.index_storage_bytes() > 0);
         assert!(db.data_storage_bytes() > 0);

@@ -28,19 +28,20 @@ fn world(n: usize, d: usize, seed: u64) -> World {
         .collect();
     let names: Vec<String> = (0..d).map(|i| format!("c{i}")).collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    let plain = PlainTable::from_columns(Schema::new("w", &name_refs), cols.clone())
-        .expect("rectangular");
+    let plain =
+        PlainTable::from_columns(Schema::new("w", &name_refs), cols.clone()).expect("rectangular");
     let owner = DataOwner::with_seed(seed ^ 0xabc);
     let table = owner.encrypt_table(&plain, &mut rng);
     let tm = owner.trusted_machine(TmConfig::default());
-    World { owner, table, tm, cols }
+    World {
+        owner,
+        table,
+        tm,
+        cols,
+    }
 }
 
-fn trapdoors(
-    w: &World,
-    ranges: &[(u64, u64)],
-    rng: &mut StdRng,
-) -> Vec<[EncryptedPredicate; 2]> {
+fn trapdoors(w: &World, ranges: &[(u64, u64)], rng: &mut StdRng) -> Vec<[EncryptedPredicate; 2]> {
     ranges
         .iter()
         .enumerate()
@@ -60,13 +61,10 @@ fn trapdoors(
 fn ground_truth(cols: &[Vec<u64>], ranges: &[(u64, u64)]) -> Vec<u32> {
     (0..cols[0].len() as u32)
         .filter(|&t| {
-            ranges
-                .iter()
-                .enumerate()
-                .all(|(a, &(lo, hi))| {
-                    let v = cols[a][t as usize];
-                    lo < v && v < hi
-                })
+            ranges.iter().enumerate().all(|(a, &(lo, hi))| {
+                let v = cols[a][t as usize];
+                lo < v && v < hi
+            })
         })
         .collect()
 }
@@ -89,7 +87,10 @@ fn four_methods_agree_on_2d_queries() {
             a as u32,
             SrciIndex::build(
                 &client,
-                SrciConfig { domain: (0, DOMAIN), bucket_bits: 12 },
+                SrciConfig {
+                    domain: (0, DOMAIN),
+                    bucket_bits: 12,
+                },
                 col,
             ),
         );
@@ -173,7 +174,7 @@ fn md_update_policies_stay_consistent_with_plaintext() {
         let mut engine: PrkbEngine<_> = PrkbEngine::new(EngineConfig {
             update: true,
             md_policy: policy,
-            threads: None,
+            ..EngineConfig::default()
         });
         engine.init_attr(0, 2_000);
         engine.init_attr(1, 2_000);
