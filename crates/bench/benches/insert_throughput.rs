@@ -17,7 +17,7 @@ fn bench_insert(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(22);
 
     let mut engine = fresh_engine(&setup, true);
-    warm_to_k(&mut engine, &setup, 0, 250, 0.01, 23);
+    let _warmup = warm_to_k(&mut engine, &setup, 0, 250, 0.01, 23);
     engine.config.update = false;
 
     let (tk, pk) = setup.owner.search_keys("ins", 0);

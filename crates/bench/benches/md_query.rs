@@ -23,7 +23,7 @@ fn bench_md(c: &mut Criterion) {
 
         let mut engine = fresh_engine(&setup, true);
         for a in 0..d {
-            warm_to_k(&mut engine, &setup, a as AttrId, 150, 0.02, 5 + a as u64);
+            let _warmup = warm_to_k(&mut engine, &setup, a as AttrId, 150, 0.02, 5 + a as u64);
         }
         engine.config.update = false;
         engine.config.md_policy = MdUpdatePolicy::Frozen;

@@ -22,9 +22,10 @@ fn bench_linear_scan(c: &mut Criterion) {
     let pred = setup.cmp_trapdoor(0, ComparisonOp::Lt, N as u64 / 2, &mut rng);
 
     for wf in [0u32, 8] {
-        let tm = setup
-            .owner
-            .trusted_machine(TmConfig { work_factor: wf, ..TmConfig::default() });
+        let tm = setup.owner.trusted_machine(TmConfig {
+            work_factor: wf,
+            ..TmConfig::default()
+        });
         let mut g = c.benchmark_group(format!("linear_scan_100k_wf{wf}"));
         g.sample_size(10);
         for t in THREADS {
@@ -34,7 +35,7 @@ fn bench_linear_scan(c: &mut Criterion) {
                     let before = oracle.qpf_uses();
                     let hits = linear_scan(&oracle, &pred);
                     assert_eq!(hits.len(), N / 2);
-                    assert_eq!(oracle.qpf_uses() - before, N as u64);
+                    assert_eq!(oracle.qpf_uses().saturating_sub(before), N as u64);
                     hits
                 })
             });
@@ -52,13 +53,14 @@ fn bench_prkb_select(c: &mut Criterion) {
     // index: verdicts — and therefore splits — are thread-invariant), then
     // freeze it so every measured select does identical work.
     let mut engine = fresh_engine(&setup, true);
-    warm_to_k(&mut engine, &setup, 0, 64, 0.01, 45);
+    let _warmup = warm_to_k(&mut engine, &setup, 0, 64, 0.01, 45);
     engine.config.update = false;
 
     for wf in [0u32, 8] {
-        let tm = setup
-            .owner
-            .trusted_machine(TmConfig { work_factor: wf, ..TmConfig::default() });
+        let tm = setup.owner.trusted_machine(TmConfig {
+            work_factor: wf,
+            ..TmConfig::default()
+        });
         let mut g = c.benchmark_group(format!("prkb_select_100k_wf{wf}"));
         g.sample_size(10);
         for t in THREADS {

@@ -20,7 +20,7 @@ fn bench_sd(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(8);
 
     let mut engine = fresh_engine(&setup, true);
-    warm_to_k(&mut engine, &setup, 0, 250, 0.01, 9);
+    let _warmup = warm_to_k(&mut engine, &setup, 0, 250, 0.01, 9);
     engine.config.update = false;
 
     let (tk, pk) = setup.owner.search_keys("sdq", 0);
@@ -39,23 +39,29 @@ fn bench_sd(c: &mut Criterion) {
     for sel in [0.01f64, 0.05] {
         let r = gen.range_with_selectivity(sel, &mut rng);
         let preds = setup.range_trapdoors(0, r.lo, r.hi, &mut rng);
-        g.bench_with_input(BenchmarkId::new("prkb_sd", format!("{sel}")), &sel, |b, _| {
-            let mut q_rng = StdRng::seed_from_u64(10);
-            b.iter(|| {
-                for p in &preds {
-                    engine.select(&oracle, p, &mut q_rng);
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("prkb_sd", format!("{sel}")),
+            &sel,
+            |b, _| {
+                let mut q_rng = StdRng::seed_from_u64(10);
+                b.iter(|| {
+                    for p in &preds {
+                        engine.select(&oracle, p, &mut q_rng);
+                    }
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("srci", format!("{sel}")), &sel, |b, _| {
             b.iter(|| {
                 let cands = srci.candidates(&client, r.lo + 1, r.hi - 1);
                 confirm(&oracle, &preds, &cands)
             })
         });
-        g.bench_with_input(BenchmarkId::new("baseline", format!("{sel}")), &sel, |b, _| {
-            b.iter(|| conjunctive_scan(&oracle, &preds))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("baseline", format!("{sel}")),
+            &sel,
+            |b, _| b.iter(|| conjunctive_scan(&oracle, &preds)),
+        );
     }
     g.finish();
 }

@@ -1,0 +1,88 @@
+//! `prkb-bench` — trajectory-file tooling for CI.
+//!
+//! ```text
+//! prkb-bench compare <baseline.json> <current.json> [--qpf-tol X] [--ms-tol Y]
+//! ```
+//!
+//! Exit codes: 0 = gate passes, 1 = regression detected, 2 = usage/IO error.
+
+use prkb_bench::compare::{compare, CompareConfig};
+use prkb_bench::trajectory::BenchFile;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: prkb-bench compare <baseline.json> <current.json> \
+         [--qpf-tol FRACTION] [--ms-tol FRACTION]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchFile::from_json(text.trim()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("compare") || args.len() < 3 {
+        return usage();
+    }
+    let baseline_path = &args[1];
+    let current_path = &args[2];
+
+    let mut config = CompareConfig::default();
+    let mut i = 3;
+    while i < args.len() {
+        let parse = |v: Option<&String>| v.and_then(|s| s.parse::<f64>().ok());
+        match args[i].as_str() {
+            "--qpf-tol" => match parse(args.get(i + 1)) {
+                Some(v) => {
+                    config.qpf_tol = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--ms-tol" => match parse(args.get(i + 1)) {
+                Some(v) => {
+                    config.ms_tol = Some(v);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("prkb-bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare(&baseline, &current, config);
+    if report.passed() {
+        println!(
+            "prkb-bench compare: OK — {} row(s) within tolerance (qpf-tol {:.0}%{})",
+            report.rows_compared,
+            config.qpf_tol * 100.0,
+            match config.ms_tol {
+                Some(t) => format!(", ms-tol {:.0}%", t * 100.0),
+                None => ", ms gate off".into(),
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "prkb-bench compare: FAIL — {} regression(s) across {} row(s):",
+            report.regressions.len(),
+            report.rows_compared
+        );
+        for r in &report.regressions {
+            eprintln!("  [{}] {}", r.id, r.detail);
+        }
+        ExitCode::FAILURE
+    }
+}

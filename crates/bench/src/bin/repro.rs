@@ -5,10 +5,14 @@
 //! cargo run -p prkb-bench --bin repro --release -- table2 fig8 fig13
 //! PRKB_SCALE=paper cargo run -p prkb-bench --bin repro --release -- table3
 //! ```
+//!
+//! Figure experiments additionally emit machine-readable trajectory files
+//! (`BENCH_<exp>.json`, schema `prkb-bench/v1`) into `PRKB_BENCH_DIR`
+//! (default: the current directory) for `prkb-bench compare` and CI gating.
 
+use prkb_bench::trajectory::{bench_dir, BenchFile, BenchRow};
 use prkb_bench::{
-    exp_fig11_fig12, exp_fig13, exp_fig8, exp_fig9_fig10, exp_table2, exp_table3, exp_table4,
-    Scale,
+    exp_fig11_fig12, exp_fig13, exp_fig8, exp_fig9_fig10, exp_table2, exp_table3, exp_table4, Scale,
 };
 
 const ALL: [&str; 8] = [
@@ -29,21 +33,32 @@ fn main() {
         scale.tag()
     );
     for exp in wanted {
-        let out = match exp {
-            "table2" => exp_table2::run(scale),
-            "fig8" => exp_fig8::run(scale),
-            "table3" => exp_table3::run(scale),
-            "fig9" => exp_fig9_fig10::run_fig9(scale),
-            "fig10" => exp_fig9_fig10::run_fig10(scale),
-            "fig11" => exp_fig11_fig12::run_fig11(scale),
-            "fig12" => exp_fig11_fig12::run_fig12(scale),
-            "fig13" => exp_fig13::run(scale),
-            "table4" => exp_table4::run(scale),
+        let (out, rows): (String, Vec<BenchRow>) = match exp {
+            "table2" => (exp_table2::run(scale), Vec::new()),
+            "fig8" => exp_fig8::run_bench(scale),
+            "table3" => (exp_table3::run(scale), Vec::new()),
+            "fig9" => exp_fig9_fig10::run_fig9_bench(scale),
+            "fig10" => exp_fig9_fig10::run_fig10_bench(scale),
+            "fig11" => exp_fig11_fig12::run_fig11_bench(scale),
+            "fig12" => exp_fig11_fig12::run_fig12_bench(scale),
+            "fig13" => exp_fig13::run_bench(scale),
+            "table4" => (exp_table4::run(scale), Vec::new()),
             other => {
                 eprintln!("unknown experiment {other:?}; known: {ALL:?} + table4 | all");
                 std::process::exit(2);
             }
         };
         println!("{out}");
+        if !rows.is_empty() {
+            let file = BenchFile {
+                experiment: exp.to_string(),
+                scale: scale.slug().to_string(),
+                rows,
+            };
+            match file.write_to(&bench_dir()) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write BENCH_{exp}.json: {e}"),
+            }
+        }
     }
 }

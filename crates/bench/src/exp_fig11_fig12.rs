@@ -6,6 +6,7 @@
 
 use crate::harness::{fresh_engine, timed, warm_to_k, EncSetup, Report};
 use crate::scale::Scale;
+use crate::trajectory::{effective_threads, BenchRow};
 use prkb_core::MdUpdatePolicy;
 use prkb_datagen::{synthetic, WorkloadGen, SYNTH_DOMAIN_MAX, SYNTH_DOMAIN_MIN};
 use prkb_edbms::{AttrId, EncryptedPredicate, SelectionOracle};
@@ -30,6 +31,10 @@ pub struct MdCell {
     pub md_ms: f64,
     /// SRC-i average time (ms), confirmations included.
     pub srci_ms: f64,
+    /// Total PRKB partitions after warm-up (summed over dimensions).
+    pub k: usize,
+    /// True when any dimension's warm-up gave up below its target.
+    pub under_warm: bool,
 }
 
 /// Measures one cell with `reps` random hyper-rectangles (2%/dim).
@@ -44,8 +49,19 @@ pub fn measure_cell(n: usize, d: usize, reps: usize, warm_k: usize, seed: u64) -
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1112);
 
     let mut engine = fresh_engine(&setup, true);
+    let mut k_total = 0usize;
+    let mut under_warm = false;
     for a in 0..d {
-        warm_to_k(&mut engine, &setup, a as AttrId, warm_k, 0.02, seed ^ a as u64);
+        let warmup = warm_to_k(
+            &mut engine,
+            &setup,
+            a as AttrId,
+            warm_k,
+            0.02,
+            seed ^ a as u64,
+        );
+        k_total += warmup.reached_k;
+        under_warm |= warmup.under_warm();
     }
     engine.config.update = false;
     engine.config.md_policy = MdUpdatePolicy::Frozen;
@@ -92,12 +108,12 @@ pub fn measure_cell(n: usize, d: usize, reps: usize, warm_k: usize, seed: u64) -
 
         let before = oracle.qpf_uses();
         let (_, t) = timed(|| engine.select_range_md(&oracle, &dims, &mut rng));
-        mq += oracle.qpf_uses() - before;
+        mq += oracle.qpf_uses().saturating_sub(before);
         mt += t.as_secs_f64() * 1e3;
 
         let before = oracle.qpf_uses();
         let (_, t) = timed(|| engine.select_range_sdplus(&oracle, &dims, &mut rng));
-        sq += oracle.qpf_uses() - before;
+        sq += oracle.qpf_uses().saturating_sub(before);
         st += t.as_secs_f64() * 1e3;
 
         if let Some(srci) = &srci {
@@ -124,6 +140,8 @@ pub fn measure_cell(n: usize, d: usize, reps: usize, warm_k: usize, seed: u64) -
         md_qpf: mq as f64 / r,
         md_ms: mt / r,
         srci_ms: it / r,
+        k: k_total,
+        under_warm,
     }
 }
 
@@ -139,7 +157,11 @@ fn render(title: &str, cells: &[MdCell], vary_d: bool) -> String {
     ]);
     for c in cells {
         report.row(&[
-            if vary_d { format!("{}", c.d) } else { format!("{}", c.n) },
+            if vary_d {
+                format!("{}", c.d)
+            } else {
+                format!("{}", c.n)
+            },
             format!("{:.0}", c.sdplus_qpf),
             format!("{:.3}", c.sdplus_ms),
             format!("{:.0}", c.md_qpf),
@@ -147,11 +169,38 @@ fn render(title: &str, cells: &[MdCell], vary_d: bool) -> String {
             format!("{:.3}", c.srci_ms),
         ]);
     }
+    if cells.iter().any(|c| c.under_warm) {
+        report.line("note: some cells under-warm (warm-up gave up below its k target)");
+    }
     report.finish()
+}
+
+fn bench_rows(cells: &[MdCell], vary_d: bool) -> Vec<BenchRow> {
+    let threads = effective_threads();
+    cells
+        .iter()
+        .map(|c| BenchRow {
+            id: if vary_d {
+                format!("d{}", c.d)
+            } else {
+                format!("n{}", c.n)
+            },
+            qpf_uses: c.md_qpf.round() as u64,
+            ms: c.md_ms,
+            k: c.k as u64,
+            n: c.n as u64,
+            threads,
+        })
+        .collect()
 }
 
 /// Fig. 11: d = 3, vary dataset size.
 pub fn run_fig11(scale: Scale) -> String {
+    run_fig11_bench(scale).0
+}
+
+/// Fig. 11 with machine-readable trajectory rows (PRKB(MD), one per size).
+pub fn run_fig11_bench(scale: Scale) -> (String, Vec<BenchRow>) {
     let reps = match scale {
         Scale::Ci => 3,
         _ => 10,
@@ -165,16 +214,25 @@ pub fn run_fig11(scale: Scale) -> String {
         .map(|&n| measure_cell(n, 3, reps, 250, 11))
         .collect();
     let mut out = render(
-        &format!("Fig. 11: MD query vs dataset size (d=3, 2%/dim) — scale: {}", scale.tag()),
+        &format!(
+            "Fig. 11: MD query vs dataset size (d=3, 2%/dim) — scale: {}",
+            scale.tag()
+        ),
         &cells,
         false,
     );
     out.push_str("shape check (paper): PRKB(MD) below PRKB(SD+) consistently.\n");
-    out
+    let rows = bench_rows(&cells, false);
+    (out, rows)
 }
 
 /// Fig. 12: 5M tuples, vary dimensionality.
 pub fn run_fig12(scale: Scale) -> String {
+    run_fig12_bench(scale).0
+}
+
+/// Fig. 12 with machine-readable trajectory rows (PRKB(MD), one per d).
+pub fn run_fig12_bench(scale: Scale) -> (String, Vec<BenchRow>) {
     let reps = match scale {
         Scale::Ci => 3,
         _ => 10,
@@ -189,7 +247,10 @@ pub fn run_fig12(scale: Scale) -> String {
         .map(|&d| measure_cell(n, d, reps, 250, 12))
         .collect();
     let mut out = render(
-        &format!("Fig. 12: MD query vs dimensionality ({n} tuples, 2%/dim) — scale: {}", scale.tag()),
+        &format!(
+            "Fig. 12: MD query vs dimensionality ({n} tuples, 2%/dim) — scale: {}",
+            scale.tag()
+        ),
         &cells,
         true,
     );
@@ -197,7 +258,8 @@ pub fn run_fig12(scale: Scale) -> String {
         "shape check (paper): PRKB(SD+) grows with d (one pass per dimension);\n\
          PRKB(MD) *decreases* with d (more predicates prune more candidates).\n",
     );
-    out
+    let rows = bench_rows(&cells, true);
+    (out, rows)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 
 use crate::harness::{fresh_engine, timed, EncSetup, Report};
 use crate::scale::Scale;
+use crate::trajectory::{effective_threads, BenchRow};
 use prkb_core::MdUpdatePolicy;
 use prkb_datagen::realsim;
 use prkb_edbms::{AttrId, EncryptedPredicate, SelectionOracle};
@@ -26,6 +27,8 @@ pub struct Fig13Point {
     pub prkb_ms: f64,
     /// SRC-i time (ms).
     pub srci_ms: f64,
+    /// Total partitions (lat+lon) right after this query.
+    pub k: usize,
 }
 
 /// Raw measurement output.
@@ -59,11 +62,25 @@ pub fn measure(scale: Scale) -> Fig13Data {
     let mut srci = MultiDimSrci::new();
     srci.add_dim(
         0,
-        SrciIndex::build(&client, SrciConfig { domain: (0, lat_hi), bucket_bits: 16 }, &lat),
+        SrciIndex::build(
+            &client,
+            SrciConfig {
+                domain: (0, lat_hi),
+                bucket_bits: 16,
+            },
+            &lat,
+        ),
     );
     srci.add_dim(
         1,
-        SrciIndex::build(&client, SrciConfig { domain: (0, lon_hi), bucket_bits: 16 }, &lon),
+        SrciIndex::build(
+            &client,
+            SrciConfig {
+                domain: (0, lon_hi),
+                bucket_bits: 16,
+            },
+            &lon,
+        ),
     );
 
     let mut engine = fresh_engine(&setup, true);
@@ -89,7 +106,7 @@ pub fn measure(scale: Scale) -> Fig13Data {
 
         let before = oracle.qpf_uses();
         let (_, t) = timed(|| engine.select_range_md(&oracle, &dims, &mut rng));
-        let prkb_qpf = oracle.qpf_uses() - before;
+        let prkb_qpf = oracle.qpf_uses().saturating_sub(before);
         let prkb_ms = t.as_secs_f64() * 1e3;
 
         let (_, t) = timed(|| {
@@ -101,6 +118,9 @@ pub fn measure(scale: Scale) -> Fig13Data {
             prkb_qpf,
             prkb_ms,
             srci_ms: t.as_secs_f64() * 1e3,
+            k: (0..2)
+                .map(|a| engine.knowledge(a).map_or(0, |k| k.k()))
+                .sum(),
         });
     }
 
@@ -117,7 +137,38 @@ pub fn measure(scale: Scale) -> Fig13Data {
 
 /// Runs and formats the Fig. 13 experiment.
 pub fn run(scale: Scale) -> String {
+    run_bench(scale).0
+}
+
+/// Like [`run`], but also returns machine-readable trajectory rows (one per
+/// paper checkpoint) for `BENCH_fig13.json`.
+pub fn run_bench(scale: Scale) -> (String, Vec<BenchRow>) {
+    let n = match scale {
+        Scale::Ci => realsim::BUILDINGS_ROWS / 100,
+        _ => realsim::BUILDINGS_ROWS,
+    };
     let data = measure(scale);
+    let threads = effective_threads();
+    let total = data.points.len();
+    let rows: Vec<BenchRow> = [1usize, 10, 50, 100, 200, 300, 400, 500, 600]
+        .iter()
+        .filter(|&&c| c <= total)
+        .map(|&cp| {
+            let p = &data.points[cp - 1];
+            BenchRow {
+                id: format!("q{cp}"),
+                qpf_uses: p.prkb_qpf,
+                ms: p.prkb_ms,
+                k: p.k as u64,
+                n: n as u64,
+                threads,
+            }
+        })
+        .collect();
+    (render(scale, &data), rows)
+}
+
+fn render(scale: Scale, data: &Fig13Data) -> String {
     let mut report = Report::new(&format!(
         "Fig. 13: growing PRKB(MD) on US-buildings (1km² windows) — scale: {}",
         scale.tag()
@@ -169,8 +220,15 @@ mod tests {
         let data = measure(Scale::Ci);
         let first = &data.points[0];
         let last = data.points.last().unwrap();
-        assert!(last.prkb_qpf * 5 <= first.prkb_qpf.max(5), "{first:?} vs {last:?}");
-        assert!(data.prkb_storage_ratio < 0.30, "{}", data.prkb_storage_ratio);
+        assert!(
+            last.prkb_qpf * 5 <= first.prkb_qpf.max(5),
+            "{first:?} vs {last:?}"
+        );
+        assert!(
+            data.prkb_storage_ratio < 0.30,
+            "{}",
+            data.prkb_storage_ratio
+        );
         assert!(data.srci_storage_ratio > data.prkb_storage_ratio * 5.0);
     }
 }

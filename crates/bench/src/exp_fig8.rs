@@ -5,6 +5,7 @@
 
 use crate::harness::{fmt_ms, fresh_engine, measure_span, EncSetup, Report};
 use crate::scale::Scale;
+use crate::trajectory::{effective_threads, BenchRow};
 use prkb_datagen::{synthetic, WorkloadGen, SYNTH_DOMAIN_MAX, SYNTH_DOMAIN_MIN};
 use prkb_edbms::select::conjunctive_scan;
 use prkb_srci::{confirm, SrciClient, SrciConfig, SrciIndex};
@@ -24,6 +25,8 @@ pub struct Fig8Point {
     pub srci_ms: f64,
     /// SRC-i confirmations (its QPF-equivalent cost).
     pub srci_confirms: u64,
+    /// PRKB partitions right after this query.
+    pub k: usize,
 }
 
 /// Raw results, for the Criterion benches and tests.
@@ -83,6 +86,7 @@ pub fn measure(scale: Scale) -> Fig8Data {
             prkb_ms: prkb.ms,
             srci_ms: srci_m.ms,
             srci_confirms: srci_m.qpf_uses,
+            k: engine.knowledge(0).map_or(0, |k| k.k()),
         });
     }
 
@@ -101,8 +105,36 @@ pub fn measure(scale: Scale) -> Fig8Data {
 
 /// Runs the experiment and formats the paper-figure checkpoints.
 pub fn run(scale: Scale) -> String {
+    run_bench(scale).0
+}
+
+/// Like [`run`], but also returns machine-readable trajectory rows (one per
+/// paper checkpoint) for `BENCH_fig8.json`.
+pub fn run_bench(scale: Scale) -> (String, Vec<BenchRow>) {
     let n = scale.tuples(10_000_000);
     let data = measure(scale);
+    let threads = effective_threads();
+    let total = data.points.len();
+    let checkpoints = [1usize, 10, 50, 100, 200, 300, 400, 500, 600];
+    let rows: Vec<BenchRow> = checkpoints
+        .iter()
+        .filter(|&&c| c <= total)
+        .map(|&cp| {
+            let p = &data.points[cp - 1];
+            BenchRow {
+                id: format!("q{cp}"),
+                qpf_uses: p.prkb_qpf,
+                ms: p.prkb_ms,
+                k: p.k as u64,
+                n: n as u64,
+                threads,
+            }
+        })
+        .collect();
+    (render(scale, n, &data), rows)
+}
+
+fn render(scale: Scale, n: usize, data: &Fig8Data) -> String {
     let mut report = Report::new(&format!(
         "Fig. 8: growing PRKB, {n} tuples, 1% selectivity — scale: {}",
         scale.tag()

@@ -5,6 +5,7 @@
 
 use crate::harness::{fresh_engine, timed, warm_to_k, EncSetup, Report};
 use crate::scale::Scale;
+use crate::trajectory::{effective_threads, BenchRow};
 use prkb_datagen::{synthetic, WorkloadGen, SYNTH_DOMAIN_MAX, SYNTH_DOMAIN_MIN};
 use prkb_edbms::select::conjunctive_scan;
 use prkb_edbms::SelectionOracle;
@@ -29,6 +30,10 @@ pub struct SdCell {
     pub baseline_qpf: f64,
     /// Baseline average time (ms).
     pub baseline_ms: f64,
+    /// PRKB partitions after warm-up (the k the measurements ran against).
+    pub k: usize,
+    /// True when warm-up gave up below its partition target.
+    pub under_warm: bool,
 }
 
 /// Measures one cell: `reps` random range queries of the given selectivity
@@ -41,7 +46,7 @@ pub fn measure_cell(n: usize, selectivity: f64, reps: usize, seed: u64) -> SdCel
     let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
 
     let mut engine = fresh_engine(&setup, true);
-    warm_to_k(&mut engine, &setup, 0, 250, 0.01, seed ^ 0xaa);
+    let warmup = warm_to_k(&mut engine, &setup, 0, 250, 0.01, seed ^ 0xaa);
     engine.config.update = false; // static PRKB, per the paper
 
     let (tk, pk) = setup.owner.search_keys("sd", 0);
@@ -71,7 +76,7 @@ pub fn measure_cell(n: usize, selectivity: f64, reps: usize, seed: u64) -> SdCel
                 engine.select(&oracle, p, &mut rng);
             }
         });
-        pq += oracle.qpf_uses() - before;
+        pq += oracle.qpf_uses().saturating_sub(before);
         pt += t.as_secs_f64() * 1e3;
 
         if let Some(srci) = &srci {
@@ -86,7 +91,7 @@ pub fn measure_cell(n: usize, selectivity: f64, reps: usize, seed: u64) -> SdCel
         if i < 3 {
             let before = oracle.qpf_uses();
             let (_, t) = timed(|| conjunctive_scan(&oracle, &preds));
-            bq += oracle.qpf_uses() - before;
+            bq += oracle.qpf_uses().saturating_sub(before);
             bt += t.as_secs_f64() * 1e3;
         }
     }
@@ -98,6 +103,8 @@ pub fn measure_cell(n: usize, selectivity: f64, reps: usize, seed: u64) -> SdCel
         srci_ms: st / reps as f64,
         baseline_qpf: bq as f64 / 3.0,
         baseline_ms: bt / 3.0,
+        k: warmup.reached_k,
+        under_warm: warmup.under_warm(),
     }
 }
 
@@ -110,6 +117,7 @@ fn render(title: &str, cells: &[SdCell], vary_sel: bool) -> String {
         "SRC-i ms".into(),
         "Base #QPF".into(),
         "Base ms".into(),
+        "k".into(),
     ]);
     for c in cells {
         report.row(&[
@@ -123,13 +131,45 @@ fn render(title: &str, cells: &[SdCell], vary_sel: bool) -> String {
             format!("{:.3}", c.srci_ms),
             format!("{:.0}", c.baseline_qpf),
             format!("{:.3}", c.baseline_ms),
+            if c.under_warm {
+                format!("{}*", c.k)
+            } else {
+                format!("{}", c.k)
+            },
         ]);
+    }
+    if cells.iter().any(|c| c.under_warm) {
+        report.line("* warm-up gave up below its partition target (under-warm run)");
     }
     report.finish()
 }
 
+fn bench_rows(cells: &[SdCell], vary_sel: bool) -> Vec<BenchRow> {
+    let threads = effective_threads();
+    cells
+        .iter()
+        .map(|c| BenchRow {
+            id: if vary_sel {
+                format!("sel{:.0}", c.selectivity * 100.0)
+            } else {
+                format!("n{}", c.n)
+            },
+            qpf_uses: c.prkb_qpf.round() as u64,
+            ms: c.prkb_ms,
+            k: c.k as u64,
+            n: c.n as u64,
+            threads,
+        })
+        .collect()
+}
+
 /// Fig. 9: vary dataset size at 1% selectivity.
 pub fn run_fig9(scale: Scale) -> String {
+    run_fig9_bench(scale).0
+}
+
+/// Fig. 9 with machine-readable trajectory rows (one per dataset size).
+pub fn run_fig9_bench(scale: Scale) -> (String, Vec<BenchRow>) {
     let reps = match scale {
         Scale::Ci => 5,
         _ => 20,
@@ -143,7 +183,10 @@ pub fn run_fig9(scale: Scale) -> String {
         .map(|&n| measure_cell(n, 0.01, reps, 9))
         .collect();
     let mut out = render(
-        &format!("Fig. 9: SD query vs dataset size (1% sel) — scale: {}", scale.tag()),
+        &format!(
+            "Fig. 9: SD query vs dataset size (1% sel) — scale: {}",
+            scale.tag()
+        ),
         &cells,
         false,
     );
@@ -151,11 +194,17 @@ pub fn run_fig9(scale: Scale) -> String {
         "shape check (paper): all methods scale ~linearly; PRKB ≈ 2 orders\n\
          below Baseline and ~4× below SRC-i across sizes.\n",
     );
-    out
+    let rows = bench_rows(&cells, false);
+    (out, rows)
 }
 
 /// Fig. 10: vary selectivity on one dataset.
 pub fn run_fig10(scale: Scale) -> String {
+    run_fig10_bench(scale).0
+}
+
+/// Fig. 10 with machine-readable trajectory rows (one per selectivity).
+pub fn run_fig10_bench(scale: Scale) -> (String, Vec<BenchRow>) {
     let reps = match scale {
         Scale::Ci => 5,
         _ => 20,
@@ -166,7 +215,10 @@ pub fn run_fig10(scale: Scale) -> String {
         .map(|&sel| measure_cell(n, sel, reps, 10))
         .collect();
     let mut out = render(
-        &format!("Fig. 10: SD query vs selectivity ({n} tuples) — scale: {}", scale.tag()),
+        &format!(
+            "Fig. 10: SD query vs selectivity ({n} tuples) — scale: {}",
+            scale.tag()
+        ),
         &cells,
         true,
     );
@@ -175,7 +227,8 @@ pub fn run_fig10(scale: Scale) -> String {
          NS-pairs are scanned); Baseline is flat-high; SRC-i grows with the\n\
          answer size.\n",
     );
-    out
+    let rows = bench_rows(&cells, true);
+    (out, rows)
 }
 
 #[cfg(test)]

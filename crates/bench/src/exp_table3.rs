@@ -26,6 +26,8 @@ pub struct StorageRow {
     pub prkb_600: usize,
     /// Logarithmic-SRC-i (bytes).
     pub srci: usize,
+    /// True when either warm-up stopped below its partition target.
+    pub under_warm: bool,
 }
 
 /// Builds both indexes at size `n` and measures storage exactly.
@@ -34,10 +36,11 @@ pub fn measure_row(n: usize, seed: u64) -> StorageRow {
     let setup = EncSetup::new("t3", vec![col.clone()], seed);
 
     let mut engine = fresh_engine(&setup, true);
-    warm_to_k(&mut engine, &setup, 0, 250, 0.01, seed ^ 1);
+    let w250 = warm_to_k(&mut engine, &setup, 0, 250, 0.01, seed ^ 1);
     let prkb_250 = engine.storage_bytes();
-    warm_to_k(&mut engine, &setup, 0, 600, 0.01, seed ^ 2);
+    let w600 = warm_to_k(&mut engine, &setup, 0, 600, 0.01, seed ^ 2);
     let prkb_600 = engine.storage_bytes();
+    let under_warm = w250.under_warm() || w600.under_warm();
 
     let (tk, pk) = setup.owner.search_keys("t3", 0);
     let client = SrciClient::new(tk, pk);
@@ -56,6 +59,7 @@ pub fn measure_row(n: usize, seed: u64) -> StorageRow {
         prkb_250,
         prkb_600,
         srci,
+        under_warm,
     }
 }
 
@@ -69,12 +73,16 @@ pub fn analytic_row(n: usize) -> StorageRow {
         prkb_250: prkb(250),
         prkb_600: prkb(600),
         srci: SrciIndex::estimate_storage_bytes(n, 16),
+        under_warm: false,
     }
 }
 
 /// Runs the Table 3 experiment.
 pub fn run(scale: Scale) -> String {
-    let mut report = Report::new(&format!("Table 3: index storage (MiB) — scale: {}", scale.tag()));
+    let mut report = Report::new(&format!(
+        "Table 3: index storage (MiB) — scale: {}",
+        scale.tag()
+    ));
     report.row(&[
         "n tuples".into(),
         "PRKB-250".into(),
@@ -95,7 +103,11 @@ pub fn run(scale: Scale) -> String {
                 format!("{:.1}", row.prkb_250 as f64 / MIB),
                 format!("{:.1}", row.prkb_600 as f64 / MIB),
                 format!("{:.1}", row.srci as f64 / MIB),
-                "measured".into(),
+                if row.under_warm {
+                    "measured (under-warm)".into()
+                } else {
+                    "measured".into()
+                },
             ]);
         }
         let a = analytic_row(m * 1_000_000);

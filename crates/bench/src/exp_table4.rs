@@ -28,9 +28,10 @@ pub fn measure(scale: Scale) -> Table4Data {
     let setup = EncSetup::new("t4", vec![col.clone()], 44);
     let mut rng = StdRng::seed_from_u64(444);
 
-    // PRKB warmed to 250 partitions (as in the paper).
+    // PRKB warmed to 250 partitions (as in the paper). The Warmup logs and
+    // counts any shortfall; throughput here only needs a non-trivial k.
     let mut engine = fresh_engine(&setup, true);
-    warm_to_k(&mut engine, &setup, 0, 250, 0.01, 45);
+    let _warmup = warm_to_k(&mut engine, &setup, 0, 250, 0.01, 45);
     engine.config.update = false;
 
     // SRC-i over the same initial data.

@@ -110,9 +110,39 @@ pub fn fresh_engine(setup: &EncSetup, update: bool) -> PrkbEngine<EncryptedPredi
     engine
 }
 
+/// Outcome of a [`warm_to_k`] run.
+///
+/// The warm-up loop caps itself at `target_k * 20` queries; on adversarial
+/// data (tight domains, heavy duplicates) it can give up below the target.
+/// The old API silently returned only a query count, so experiments kept
+/// reporting "warmed to k=250" numbers that were nothing of the sort. This
+/// struct makes the shortfall impossible to drop on the floor.
+#[must_use = "check reached_k — the warm-up loop may have given up below target_k"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Warmup {
+    /// Warm-up queries actually issued.
+    pub queries: usize,
+    /// Partitions reached when the loop stopped.
+    pub reached_k: usize,
+    /// Partitions requested.
+    pub target_k: usize,
+}
+
+impl Warmup {
+    /// True when the loop hit the query cap before reaching `target_k`.
+    pub fn under_warm(&self) -> bool {
+        self.reached_k < self.target_k
+    }
+}
+
 /// Warms one attribute's PRKB to (at least) `target_k` partitions with
-/// random selectivity-`sel` range queries, then returns the number of
-/// warm-up queries issued. The engine's update flag must be on.
+/// random selectivity-`sel` range queries. The engine's update flag must be
+/// on.
+///
+/// Gives up after `target_k * 20` queries; the returned [`Warmup`] reports
+/// the k actually reached, an under-warm run logs a warning to stderr, and
+/// the [`prkb_core::Metric::WarmupUnderTarget`] counter is bumped so the
+/// shortfall shows up in metric snapshots.
 pub fn warm_to_k(
     engine: &mut PrkbEngine<EncryptedPredicate>,
     setup: &EncSetup,
@@ -120,7 +150,7 @@ pub fn warm_to_k(
     target_k: usize,
     sel: f64,
     seed: u64,
-) -> usize {
+) -> Warmup {
     let oracle = setup.oracle();
     let gen = WorkloadGen::new(
         &setup.columns[attr as usize],
@@ -135,7 +165,19 @@ pub fn warm_to_k(
         }
         queries += 1;
     }
-    queries
+    let warmup = Warmup {
+        queries,
+        reached_k: engine.knowledge(attr).map_or(0, |k| k.k()),
+        target_k,
+    };
+    if warmup.under_warm() {
+        prkb_core::metrics::global().add(prkb_core::Metric::WarmupUnderTarget, 1);
+        eprintln!(
+            "warning: warm_to_k gave up at k={} (target {}) after {} queries on attr {}",
+            warmup.reached_k, warmup.target_k, warmup.queries, attr
+        );
+    }
+    warmup
 }
 
 /// Conservative inclusive domain bounds of a column.
@@ -179,10 +221,15 @@ pub fn measure_span<O: prkb_edbms::SelectionOracle, T>(
     let start = Instant::now();
     let out = f();
     let ms = start.elapsed().as_secs_f64() * 1e3;
+    let after = oracle.qpf_uses();
+    debug_assert!(
+        after >= before,
+        "QPF counter went backwards: {before} -> {after}"
+    );
     (
         out,
         Measured {
-            qpf_uses: oracle.qpf_uses() - before,
+            qpf_uses: after.saturating_sub(before),
             ms,
         },
     )
@@ -250,8 +297,24 @@ mod tests {
         let cols = vec![(0..2000u64).collect::<Vec<_>>()];
         let setup = EncSetup::new("t", cols, 3);
         let mut engine = fresh_engine(&setup, true);
-        warm_to_k(&mut engine, &setup, 0, 50, 0.01, 4);
+        let warmup = warm_to_k(&mut engine, &setup, 0, 50, 0.01, 4);
         assert!(engine.knowledge(0).unwrap().k() >= 50);
+        assert!(!warmup.under_warm());
+        assert_eq!(warmup.reached_k, engine.knowledge(0).unwrap().k());
+        assert!(warmup.queries > 0);
+    }
+
+    #[test]
+    fn warm_reports_shortfall_on_tiny_domain() {
+        // 4 distinct values cap k at 5 partitions — a target of 50 must
+        // come back under-warm instead of silently pretending otherwise.
+        let cols = vec![(0..2000u64).map(|v| v % 4).collect::<Vec<_>>()];
+        let setup = EncSetup::new("t", cols, 9);
+        let mut engine = fresh_engine(&setup, true);
+        let warmup = warm_to_k(&mut engine, &setup, 0, 50, 0.01, 10);
+        assert!(warmup.under_warm());
+        assert!(warmup.reached_k < 50);
+        assert_eq!(warmup.target_k, 50);
     }
 
     #[test]
@@ -267,6 +330,44 @@ mod tests {
         assert!(m.ms >= 0.0);
         let cells = m.cells();
         assert_eq!(cells[0], "200");
+    }
+
+    #[test]
+    fn measure_span_diff_survives_retry_oracle_with_threads() {
+        use prkb_edbms::{FaultConfig, FaultInjector, RetryOracle, RetryPolicy};
+
+        let cols = vec![(0..400u64).collect::<Vec<_>>()];
+        let setup = EncSetup::new("t", cols, 11);
+        // Transient-only faults (request lost before the TM, no QPF spent)
+        // under 4 oracle threads: the measured delta must still match the
+        // fault-free cost exactly, and never underflow.
+        let faulty = RetryOracle::new(
+            FaultInjector::new(
+                setup.oracle().with_threads(4),
+                FaultConfig {
+                    seed: 0xFA11,
+                    transient_per_mille: 80,
+                    timeout_per_mille: 0,
+                    corruption_per_mille: 0,
+                    max_consecutive: 2,
+                },
+            ),
+            RetryPolicy::fast(4),
+        );
+        let mut engine = fresh_engine(&setup, true);
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = setup.cmp_trapdoor(0, ComparisonOp::Lt, 150, &mut rng);
+        let (sel, m) = measure_span(&faulty, || {
+            engine
+                .try_select(&faulty, &p, &mut rng)
+                .expect("transient faults recover within the retry budget")
+        });
+        assert_eq!(sel.tuples.len(), 150);
+        assert_eq!(
+            m.qpf_uses, sel.stats.qpf_uses,
+            "span delta == per-query stats"
+        );
+        assert!(faulty.retries() > 0, "schedule must actually fault");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod exp_fig11_fig12;
 pub mod exp_fig13;
 pub mod exp_fig8;
@@ -21,6 +22,9 @@ pub mod exp_table2;
 pub mod exp_table3;
 pub mod exp_table4;
 pub mod harness;
+pub mod json;
 pub mod scale;
+pub mod trajectory;
 
 pub use scale::Scale;
+pub use trajectory::{BenchFile, BenchRow};

@@ -58,6 +58,15 @@ impl Scale {
             Scale::Paper => "paper",
         }
     }
+
+    /// Machine-readable slug for trajectory files (`BENCH_<exp>.json`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Scale::Ci => "ci",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -77,11 +77,15 @@ where
     let mut tuples: Vec<TupleId> = Vec::new();
     let mut scans: Vec<RankScan> = Vec::new();
     let mut middle_true: Vec<usize> = Vec::new();
+    // Per-sample probes (hunt + binary search) — the BETWEEN analogue of
+    // QFilter's O(lg k) location cost.
+    let mut filter_probes = 0u64;
 
     if k > 0 {
         // Phase 1: hunt for a positive sample, rank by rank.
         let mut first_true: Option<usize> = None;
         for rank in 0..k {
+            filter_probes += 1;
             if oracle.try_eval(pred, kb.pop().sample_at(rank, rng))? {
                 first_true = Some(rank);
                 break;
@@ -101,24 +105,28 @@ where
 
                 let high_lo = if r == k - 1 {
                     k - 1
-                } else if oracle.try_eval(pred, kb.pop().sample_at(k - 1, rng))? {
-                    // Range reaches the top partition.
-                    scan_set.push(k - 1);
-                    k - 1
                 } else {
-                    let mut lo = r;
-                    let mut hi = k - 1;
-                    while hi - lo > 1 {
-                        let m = (lo + hi) / 2;
-                        if oracle.try_eval(pred, kb.pop().sample_at(m, rng))? {
-                            lo = m;
-                        } else {
-                            hi = m;
+                    filter_probes += 1;
+                    if oracle.try_eval(pred, kb.pop().sample_at(k - 1, rng))? {
+                        // Range reaches the top partition.
+                        scan_set.push(k - 1);
+                        k - 1
+                    } else {
+                        let mut lo = r;
+                        let mut hi = k - 1;
+                        while hi - lo > 1 {
+                            let m = (lo + hi) / 2;
+                            filter_probes += 1;
+                            if oracle.try_eval(pred, kb.pop().sample_at(m, rng))? {
+                                lo = m;
+                            } else {
+                                hi = m;
+                            }
                         }
+                        scan_set.push(lo);
+                        scan_set.push(hi);
+                        lo
                     }
-                    scan_set.push(lo);
-                    scan_set.push(hi);
-                    lo
                 };
 
                 scan_set.sort_unstable();
@@ -151,9 +159,12 @@ where
 
     // Overflow tuples are always examined, unconditionally — one batch.
     let overflow: Vec<TupleId> = kb.overflow().iter().map(|e| e.tuple).collect();
+    let overflow_scanned = overflow.len();
+    let mut overflow_batches = 0u64;
     if !overflow.is_empty() {
         let mut verdicts = Vec::new();
         oracle.try_eval_batch(pred, &overflow, &mut verdicts)?;
+        overflow_batches = 1;
         tuples.extend(
             overflow
                 .into_iter()
@@ -168,13 +179,26 @@ where
         splits = apply_between_updates(kb, pred, &scans, &middle_true);
     }
 
+    // Breakdown: scanned boundary partitions are the BETWEEN "NS width";
+    // middle ranks pass by label (pruned true), the remaining unscanned
+    // ranks were excluded by their negative samples (pruned false).
+    let ns_width: u64 = scans
+        .iter()
+        .map(|s| (s.true_half.len() + s.false_half.len()) as u64)
+        .sum();
     Ok(Selection {
         tuples,
         stats: QueryStats {
-            qpf_uses: oracle.qpf_uses() - qpf_before,
+            qpf_uses: oracle.qpf_uses().saturating_sub(qpf_before),
             k_before,
             k_after: kb.k(),
             splits,
+            filter_probes,
+            ns_width,
+            oracle_batches: scans.len() as u64 + overflow_batches,
+            pruned_true: middle_true.len(),
+            pruned_false: k.saturating_sub(scans.len() + middle_true.len()),
+            overflow_scanned,
         },
     })
 }

@@ -615,12 +615,14 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
 
     fn log_txn(&mut self, entries: &[TxnEntry<P>]) -> Result<(), DurableError> {
         let payload = encode_txn(entries);
+        let bytes_before = self.wal.bytes();
         if let Err(e) = self.wal.append(&payload) {
             // In-memory state is ahead of the log now; only a reopen can
             // re-establish the memory == disk-prefix invariant.
             self.poisoned = true;
             return Err(e.into());
         }
+        crate::metrics::global().record_wal_txn(self.wal.bytes().saturating_sub(bytes_before));
         self.maybe_checkpoint()
     }
 
@@ -660,6 +662,8 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
         })();
         if result.is_err() {
             self.poisoned = true;
+        } else {
+            crate::metrics::global().add(crate::metrics::Metric::Checkpoints, 1);
         }
         result
     }

@@ -9,6 +9,7 @@ use crate::between::try_process_between;
 use crate::insert::{apply_insert, decide_insert, InsertDecision, InsertOutcome};
 use crate::knowledge::Knowledge;
 use crate::md::{try_process_range_md, MdDim, MdUpdatePolicy};
+use crate::metrics::{self, QueryKind};
 use crate::sd::try_process_comparison;
 use crate::sdplus::try_process_range_sdplus;
 use crate::selection::Selection;
@@ -161,6 +162,28 @@ impl<P: SpPredicate> PrkbEngine<P> {
         O: SelectionOracle<Pred = P>,
         R: Rng,
     {
+        let kind = match oracle.kind_of(pred) {
+            PredicateKind::Comparison => QueryKind::Comparison,
+            PredicateKind::Between => QueryKind::Between,
+        };
+        let sel = self.try_select_impl(oracle, pred, rng)?;
+        metrics::global().record_query(kind, &sel.stats);
+        Ok(sel)
+    }
+
+    /// Non-recording twin of [`try_select`](Self::try_select): composite
+    /// queries (conjunctions) run their parts through this so the global
+    /// metrics registry counts each user-visible query exactly once.
+    fn try_select_impl<O, R>(
+        &mut self,
+        oracle: &O,
+        pred: &P,
+        rng: &mut R,
+    ) -> Result<Selection, QueryError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
         let update = self.config.update;
         let kb = self
             .kbs
@@ -202,6 +225,24 @@ impl<P: SpPredicate> PrkbEngine<P> {
     /// # Panics
     /// Panics on duplicate dimensions (programmer error).
     pub fn try_select_range_md<O, R>(
+        &mut self,
+        oracle: &O,
+        dims: &[[P; 2]],
+        rng: &mut R,
+    ) -> Result<Selection, QueryError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        let sel = self.try_select_range_md_impl(oracle, dims, rng)?;
+        metrics::global().record_query(QueryKind::Md, &sel.stats);
+        Ok(sel)
+    }
+
+    /// Non-recording twin of
+    /// [`try_select_range_md`](Self::try_select_range_md) (see
+    /// [`try_select_impl`](Self::try_select_impl)).
+    fn try_select_range_md_impl<O, R>(
         &mut self,
         oracle: &O,
         dims: &[[P; 2]],
@@ -263,10 +304,13 @@ impl<P: SpPredicate> PrkbEngine<P> {
         R: Rng,
     {
         let update = self.config.update;
-        self.with_dims(dims, |md_dims| {
-            try_process_range_sdplus(md_dims, oracle, rng, update)
-        })?
-        .map_err(QueryError::Oracle)
+        let sel = self
+            .with_dims(dims, |md_dims| {
+                try_process_range_sdplus(md_dims, oracle, rng, update)
+            })?
+            .map_err(QueryError::Oracle)?;
+        metrics::global().record_query(QueryKind::Sdplus, &sel.stats);
+        Ok(sel)
     }
 
     /// Moves the named attributes' knowledge out of the map, runs `f`, and
@@ -370,7 +414,10 @@ impl<P: SpPredicate> PrkbEngine<P> {
                 .collect()
         };
         match self.conjunction_inner(oracle, preds, rng) {
-            Ok(sel) => Ok(sel),
+            Ok(sel) => {
+                metrics::global().record_query(QueryKind::Conjunction, &sel.stats);
+                Ok(sel)
+            }
             Err(e) => {
                 for (attr, kb) in saved {
                     self.kbs.insert(attr, kb);
@@ -422,10 +469,10 @@ impl<P: SpPredicate> PrkbEngine<P> {
 
         let mut hits: Vec<u32> = vec![0; n];
         let mut parts = 0u32;
-        let mut splits = 0usize;
+        let mut agg = crate::selection::QueryStats::default();
         if dims.len() >= 2 {
-            let sel = self.try_select_range_md(oracle, &dims, rng)?;
-            splits += sel.stats.splits;
+            let sel = self.try_select_range_md_impl(oracle, &dims, rng)?;
+            agg.absorb(&sel.stats);
             parts += 1;
             for t in sel.tuples {
                 hits[t as usize] += 1;
@@ -435,8 +482,8 @@ impl<P: SpPredicate> PrkbEngine<P> {
             singles.extend(dims.into_iter().flatten());
         }
         for p in singles {
-            let sel = self.try_select(oracle, &p, rng)?;
-            splits += sel.stats.splits;
+            let sel = self.try_select_impl(oracle, &p, rng)?;
+            agg.absorb(&sel.stats);
             parts += 1;
             for t in sel.tuples {
                 hits[t as usize] += 1;
@@ -446,15 +493,12 @@ impl<P: SpPredicate> PrkbEngine<P> {
         let tuples: Vec<TupleId> = (0..n as TupleId)
             .filter(|&t| hits[t as usize] == parts)
             .collect();
-        Ok(Selection {
-            tuples,
-            stats: crate::selection::QueryStats {
-                qpf_uses: oracle.qpf_uses() - qpf_before,
-                k_before,
-                k_after: self.kbs.values().map(Knowledge::k).sum(),
-                splits,
-            },
-        })
+        // Per-part breakdown sums; the envelope figures are measured across
+        // the whole conjunction.
+        agg.qpf_uses = oracle.qpf_uses().saturating_sub(qpf_before);
+        agg.k_before = k_before;
+        agg.k_after = self.kbs.values().map(Knowledge::k).sum();
+        Ok(Selection { tuples, stats: agg })
     }
 
     /// Routes a freshly inserted tuple into every indexed attribute
@@ -491,6 +535,7 @@ impl<P: SpPredicate> PrkbEngine<P> {
     {
         // Deterministic attribute order keeps the oracle call sequence (and
         // with it any injected-fault schedule) reproducible across runs.
+        let qpf_before = oracle.qpf_uses();
         let mut attrs: Vec<AttrId> = self.kbs.keys().copied().collect();
         attrs.sort_unstable();
 
@@ -502,13 +547,18 @@ impl<P: SpPredicate> PrkbEngine<P> {
         }
 
         // Commit phase: infallible.
-        Ok(decisions
+        let outcomes: Vec<(AttrId, InsertOutcome)> = decisions
             .into_iter()
             .map(|(attr, decision)| {
                 let kb = self.kbs.get_mut(&attr).expect("attr enumerated above");
                 (attr, apply_insert(kb, t, decision))
             })
-            .collect())
+            .collect();
+        let parked = outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, InsertOutcome::Parked { .. }));
+        metrics::global().record_insert(oracle.qpf_uses().saturating_sub(qpf_before), parked);
+        Ok(outcomes)
     }
 
     /// Removes a deleted tuple from every indexed attribute (paper §7.2).

@@ -128,7 +128,10 @@ mod tests {
         let mut order: Vec<usize> = (0..values.len()).collect();
         order.sort_by_key(|&i| values[i]);
         for &i in order.iter().take(m) {
-            assert!(cands.contains(&(i as TupleId)), "bottom-{m} tuple {i} missing");
+            assert!(
+                cands.contains(&(i as TupleId)),
+                "bottom-{m} tuple {i} missing"
+            );
         }
         for &i in order.iter().rev().take(m) {
             assert!(cands.contains(&(i as TupleId)), "top-{m} tuple {i} missing");

@@ -62,6 +62,7 @@ pub mod extremes;
 pub mod insert;
 pub mod knowledge;
 pub mod md;
+pub mod metrics;
 pub mod pop;
 pub mod qfilter;
 pub mod qscan;
@@ -79,6 +80,7 @@ pub use extremes::{extreme_candidates, top_m_candidates};
 pub use insert::{InsertDecision, InsertOutcome};
 pub use knowledge::{Knowledge, RefinementOp, Separator};
 pub use md::{MdDim, MdUpdatePolicy};
+pub use metrics::{Metric, MetricsRegistry, MetricsSnapshot, QueryKind};
 pub use pop::{PartId, Pop};
 pub use selection::{QueryStats, Selection};
 pub use skyline::skyline_candidates;

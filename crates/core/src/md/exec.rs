@@ -109,11 +109,40 @@ where
         let f1 = try_qfilter(dim.knowledge.pop(), oracle, &dim.preds[1], rng)?;
         filters.push([f0, f1]);
     }
+    let filter_probes = oracle.qpf_uses().saturating_sub(qpf_before);
     let classes: Vec<Vec<RankClass>> = dims
         .iter()
         .zip(&filters)
         .map(|(dim, f)| rank_classes(dim.knowledge.pop().k(), f))
         .collect();
+
+    // Cost breakdown: NS-pair width per trapdoor, label-pruned partitions.
+    let ns_width: u64 = dims
+        .iter()
+        .zip(&filters)
+        .map(|(dim, fs)| {
+            fs.iter()
+                .filter_map(|f| f.ns)
+                .map(|(a, b)| {
+                    let pop = dim.knowledge.pop();
+                    let mut w = pop.members_at(a).len();
+                    if b != a {
+                        w += pop.members_at(b).len();
+                    }
+                    w as u64
+                })
+                .sum::<u64>()
+        })
+        .sum();
+    let pruned_true: usize = classes
+        .iter()
+        .map(|cs| cs.iter().filter(|c| c.known_true()).count())
+        .sum();
+    let pruned_false: usize = classes
+        .iter()
+        .map(|cs| cs.iter().filter(|c| c.known_false()).count())
+        .sum();
+    let mut oracle_batches = 0u64;
 
     let mut ns_states: Vec<[Option<NsState>; 2]> = filters
         .iter()
@@ -139,6 +168,7 @@ where
         })
         .unwrap_or(0);
 
+    let overflow_scanned = dims[driver].knowledge.overflow().len();
     let mut candidates: Vec<TupleId> = Vec::new();
     {
         let pop = dims[driver].knowledge.pop();
@@ -234,6 +264,7 @@ where
                 }
             }
             if !batch.is_empty() {
+                oracle_batches += 1;
                 oracle.try_eval_batch(&dim.preds[j], &batch, &mut verdicts)?;
                 for (k, &v) in verdicts.iter().enumerate() {
                     let (i, keep_outcome) = batch_meta[k];
@@ -276,10 +307,16 @@ where
     Ok(Selection {
         tuples: winners,
         stats: QueryStats {
-            qpf_uses: oracle.qpf_uses() - qpf_before,
+            qpf_uses: oracle.qpf_uses().saturating_sub(qpf_before),
             k_before,
             k_after: dims.iter().map(|d| d.knowledge.k()).sum(),
             splits,
+            filter_probes,
+            ns_width,
+            oracle_batches,
+            pruned_true,
+            pruned_false,
+            overflow_scanned,
         },
     })
 }

@@ -66,11 +66,20 @@ mod tests {
 
     #[test]
     fn class_semantics() {
-        let t = RankClass { p0: Some(true), p1: Some(true) };
+        let t = RankClass {
+            p0: Some(true),
+            p1: Some(true),
+        };
         assert!(t.known_true() && !t.known_false());
-        let f = RankClass { p0: Some(true), p1: Some(false) };
+        let f = RankClass {
+            p0: Some(true),
+            p1: Some(false),
+        };
         assert!(f.known_false() && !f.known_true());
-        let ns = RankClass { p0: None, p1: Some(true) };
+        let ns = RankClass {
+            p0: None,
+            p1: Some(true),
+        };
         assert!(!ns.known_false() && !ns.known_true());
         assert_eq!(ns.pred(0), None);
         assert_eq!(ns.pred(1), Some(true));

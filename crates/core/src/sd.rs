@@ -68,7 +68,19 @@ where
 
     // ---- Evaluation phase: fallible, reads only. ----
     let filter = try_qfilter(kb.pop(), oracle, pred, rng)?;
+    let filter_probes = oracle.qpf_uses().saturating_sub(qpf_before);
     let scan = try_qscan(kb.pop(), oracle, pred, &filter)?;
+
+    // Cost breakdown: NS-pair width and batches actually issued. P_b costs
+    // a batch only when P_a scanned homogeneous (no early stop).
+    let (ns_width, scan_batches) = match filter.ns {
+        None => (0u64, 0u64),
+        Some((a, b)) if a == b => (kb.pop().members_at(a).len() as u64, 1),
+        Some((a, b)) => (
+            (kb.pop().members_at(a).len() + kb.pop().members_at(b).len()) as u64,
+            if scan.label_a_full.is_none() { 1 } else { 2 },
+        ),
+    };
 
     // T_W ∪ T_WNS.
     let mut tuples = filter.winner_tuples(kb.pop());
@@ -76,6 +88,7 @@ where
 
     // Overflow tuples are always examined, unconditionally — one batch.
     let overflow: Vec<TupleId> = kb.overflow().iter().map(|e| e.tuple).collect();
+    let overflow_scanned = overflow.len();
     let mut verdicts = Vec::new();
     oracle.try_eval_batch(pred, &overflow, &mut verdicts)?;
     let mut overflow_out: HashMap<TupleId, bool> = HashMap::new();
@@ -111,10 +124,16 @@ where
     Ok(Selection {
         tuples,
         stats: QueryStats {
-            qpf_uses: oracle.qpf_uses() - qpf_before,
+            qpf_uses: oracle.qpf_uses().saturating_sub(qpf_before),
             k_before,
             k_after: kb.k(),
             splits,
+            filter_probes,
+            ns_width,
+            oracle_batches: scan_batches + 1, // + unconditional overflow batch
+            pruned_true: filter.winner_ranks.len(),
+            pruned_false: filter.false_ranks.len(),
+            overflow_scanned,
         },
     })
 }

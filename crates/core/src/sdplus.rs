@@ -71,13 +71,13 @@ where
     let saved: Option<Vec<_>> = update.then(|| dims.iter().map(|d| d.knowledge.clone()).collect());
 
     let mut hits: Vec<u8> = vec![0; n];
-    let mut splits = 0usize;
+    let mut agg = QueryStats::default();
     let mut run = || -> Result<(), OracleError> {
         for dim in dims.iter_mut() {
             for j in 0..2 {
                 let pred = dim.preds[j].clone();
                 let sel = try_process_comparison(&mut dim.knowledge, oracle, &pred, rng, update)?;
-                splits += sel.stats.splits;
+                agg.absorb(&sel.stats);
                 for t in sel.tuples {
                     hits[t as usize] += 1;
                 }
@@ -98,15 +98,12 @@ where
         .filter(|&t| hits[t as usize] as usize == total_preds)
         .collect();
 
-    Ok(Selection {
-        tuples,
-        stats: QueryStats {
-            qpf_uses: oracle.qpf_uses() - qpf_before,
-            k_before,
-            k_after: dims.iter().map(|d| d.knowledge.k()).sum(),
-            splits,
-        },
-    })
+    // The per-trapdoor breakdown sums; the envelope figures come from the
+    // whole-query measurement.
+    agg.qpf_uses = oracle.qpf_uses().saturating_sub(qpf_before);
+    agg.k_before = k_before;
+    agg.k_after = dims.iter().map(|d| d.knowledge.k()).sum();
+    Ok(Selection { tuples, stats: agg })
 }
 
 #[cfg(test)]

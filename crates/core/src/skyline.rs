@@ -139,7 +139,12 @@ mod tests {
         n: usize,
         cuts: usize,
         seed: u64,
-    ) -> (Knowledge<Predicate>, Knowledge<Predicate>, Vec<u64>, Vec<u64>) {
+    ) -> (
+        Knowledge<Predicate>,
+        Knowledge<Predicate>,
+        Vec<u64>,
+        Vec<u64>,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let xs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100_000u64)).collect();
         let ys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100_000u64)).collect();
@@ -148,9 +153,21 @@ mod tests {
         let mut kb_y: Knowledge<Predicate> = Knowledge::init(n);
         for _ in 0..cuts {
             let c = rng.gen_range(0..100_000u64);
-            process_comparison(&mut kb_x, &oracle, &Predicate::cmp(0, ComparisonOp::Lt, c), &mut rng, true);
+            process_comparison(
+                &mut kb_x,
+                &oracle,
+                &Predicate::cmp(0, ComparisonOp::Lt, c),
+                &mut rng,
+                true,
+            );
             let c = rng.gen_range(0..100_000u64);
-            process_comparison(&mut kb_y, &oracle, &Predicate::cmp(1, ComparisonOp::Lt, c), &mut rng, true);
+            process_comparison(
+                &mut kb_y,
+                &oracle,
+                &Predicate::cmp(1, ComparisonOp::Lt, c),
+                &mut rng,
+                true,
+            );
         }
         (kb_x, kb_y, xs, ys)
     }
@@ -158,8 +175,9 @@ mod tests {
     #[test]
     fn all_four_skylines_are_contained() {
         let (kb_x, kb_y, xs, ys) = warmed_2d(2_000, 60, 1);
-        let cands: std::collections::HashSet<TupleId> =
-            skyline_candidates(&kb_x, &kb_y, xs.len()).into_iter().collect();
+        let cands: std::collections::HashSet<TupleId> = skyline_candidates(&kb_x, &kb_y, xs.len())
+            .into_iter()
+            .collect();
         for (mx, my) in [(true, true), (true, false), (false, true), (false, false)] {
             for t in plaintext_skyline(&xs, &ys, mx, my) {
                 assert!(cands.contains(&t), "skyline({mx},{my}) tuple {t} missing");

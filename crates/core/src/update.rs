@@ -19,7 +19,11 @@ pub(crate) fn order_halves(
     label_of: impl Fn(usize) -> Option<bool>,
 ) -> (Vec<TupleId>, Vec<TupleId>, bool) {
     let left_neighbor = if rank > 0 { label_of(rank - 1) } else { None };
-    let right_neighbor = if rank + 1 < k { label_of(rank + 1) } else { None };
+    let right_neighbor = if rank + 1 < k {
+        label_of(rank + 1)
+    } else {
+        None
+    };
 
     let true_first = if let Some(l) = left_neighbor {
         l

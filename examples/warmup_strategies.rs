@@ -44,7 +44,7 @@ fn run_strategy(name: &str, cuts: &[u64], seed: u64) {
             .expect("valid predicate");
         engine.select(&oracle, &p, &mut rng);
     }
-    let warm_cost = oracle.qpf_uses() - warm_before;
+    let warm_cost = oracle.qpf_uses().saturating_sub(warm_before);
 
     let mut real_cost = 0u64;
     for _ in 0..10 {

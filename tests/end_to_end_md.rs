@@ -157,7 +157,7 @@ fn md_cheaper_than_baseline_once_warmed() {
     let dims = trapdoors(&w, &ranges, &mut rng);
     let before = oracle.qpf_uses();
     let md = engine.select_range_md(&oracle, &dims, &mut rng);
-    let md_cost = oracle.qpf_uses() - before;
+    let md_cost = oracle.qpf_uses().saturating_sub(before);
     assert_eq!(md.sorted(), ground_truth(&w.cols, &ranges));
     assert!(
         md_cost < 8_000,

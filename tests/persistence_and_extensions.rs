@@ -42,9 +42,11 @@ fn snapshot_survives_sp_restart_end_to_end() {
         .trapdoor("t", &Predicate::cmp(0, ComparisonOp::Lt, 50_000), &mut rng)
         .expect("valid");
     let sel = prkb::core::sd::process_comparison(&mut kb, &oracle, &p, &mut rng, true);
-    let expected: Vec<u32> = (0..n as u32).filter(|&t| values[t as usize] < 50_000).collect();
+    let expected: Vec<u32> = (0..n as u32)
+        .filter(|&t| values[t as usize] < 50_000)
+        .collect();
     assert_eq!(sel.sorted(), expected);
-    let spent = tm.qpf_uses() - before;
+    let spent = tm.qpf_uses().saturating_sub(before);
     assert!(
         spent < (n as u64) / 3,
         "restored index should answer warm ({spent} QPF for n={n}, k={k_before})"
@@ -57,8 +59,11 @@ fn extremes_and_skyline_on_encrypted_pipeline() {
     let n = 3_000usize;
     let xs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect();
     let ys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect();
-    let plain = PlainTable::from_columns(Schema::new("pts", &["x", "y"]), vec![xs.clone(), ys.clone()])
-        .expect("rectangular");
+    let plain = PlainTable::from_columns(
+        Schema::new("pts", &["x", "y"]),
+        vec![xs.clone(), ys.clone()],
+    )
+    .expect("rectangular");
     let owner = DataOwner::with_seed(4);
     let table = owner.encrypt_table(&plain, &mut rng);
     let tm = owner.trusted_machine(TmConfig::default());
@@ -87,8 +92,9 @@ fn extremes_and_skyline_on_encrypted_pipeline() {
 
     // Skyline candidates contain the (min, min) plaintext skyline.
     let kb_y = engine.knowledge(1).expect("y indexed");
-    let sky: std::collections::HashSet<u32> =
-        skyline::skyline_candidates(kb_x, kb_y, n).into_iter().collect();
+    let sky: std::collections::HashSet<u32> = skyline::skyline_candidates(kb_x, kb_y, n)
+        .into_iter()
+        .collect();
     for t in 0..n {
         let dominated = (0..n).any(|s| {
             s != t && xs[s] <= xs[t] && ys[s] <= ys[t] && (xs[s] < xs[t] || ys[s] < ys[t])

@@ -1,0 +1,217 @@
+//! The enriched per-query `QueryStats` breakdown (QPF uses, filter probes,
+//! NS width, oracle batches, pruning counts) must be an *observation*, never
+//! an artifact of how the query executed: identical across thread counts and
+//! identical with a retrying fault path, as long as the faults are
+//! recoverable without spending QPF (transient = request lost before the TM).
+
+use prkb::core::{EngineConfig, Metric, MetricsRegistry, PrkbEngine};
+use prkb::edbms::{
+    ComparisonOp, DataOwner, EncryptedPredicate, EncryptedTable, FaultConfig, FaultInjector,
+    PlainTable, Predicate, RetryOracle, RetryPolicy, Schema, SelectionOracle, SpOracle, TmConfig,
+    TrustedMachine,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An encrypted two-column pipeline with two independent TMs (separate QPF
+/// counters) over the same table.
+struct World {
+    owner: DataOwner,
+    table: EncryptedTable,
+    tm_a: TrustedMachine,
+    tm_b: TrustedMachine,
+    n: usize,
+}
+
+fn world(columns: Vec<Vec<u64>>, seed: u64) -> World {
+    let n = columns[0].len();
+    let attrs: Vec<String> = (0..columns.len()).map(|i| format!("a{i}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let schema = Schema::new("t", &attr_refs);
+    let plain = PlainTable::from_columns(schema, columns).expect("rectangular");
+    let owner = DataOwner::with_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A7);
+    let table = owner.encrypt_table(&plain, &mut rng);
+    let tm_a = owner.trusted_machine(TmConfig::default());
+    let tm_b = owner.trusted_machine(TmConfig::default());
+    World {
+        owner,
+        table,
+        tm_a,
+        tm_b,
+        n,
+    }
+}
+
+fn trapdoor(w: &World, p: &Predicate, seed: u64) -> EncryptedPredicate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    w.owner.trapdoor("t", p, &mut rng).expect("valid predicate")
+}
+
+fn engine_pair(
+    w: &World,
+) -> (
+    PrkbEngine<EncryptedPredicate>,
+    PrkbEngine<EncryptedPredicate>,
+) {
+    let mut a: PrkbEngine<EncryptedPredicate> = PrkbEngine::new(EngineConfig::default());
+    let mut b: PrkbEngine<EncryptedPredicate> = PrkbEngine::new(EngineConfig {
+        threads: Some(4),
+        ..EngineConfig::default()
+    });
+    for attr in 0..2u32 {
+        a.init_attr(attr, w.n);
+        b.init_attr(attr, w.n);
+    }
+    (a, b)
+}
+
+/// One query stream shared by both tests: comparisons, a BETWEEN, an MD
+/// rectangle, and a conjunction — every stat-producing pipeline.
+fn queries(domain: u64) -> Vec<Predicate> {
+    vec![
+        Predicate::cmp(0, ComparisonOp::Lt, domain / 2),
+        Predicate::cmp(0, ComparisonOp::Gt, domain / 4),
+        Predicate::between(1, domain / 8, domain / 3),
+        Predicate::cmp(1, ComparisonOp::Le, domain / 5),
+        Predicate::cmp(0, ComparisonOp::Ge, domain / 3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Full `QueryStats` equality (not just qpf_uses — every breakdown
+    /// field) between a sequential engine and a 4-thread engine fed the
+    /// identical stream, and `qpf_uses` always equals the oracle-counter
+    /// delta on both sides.
+    #[test]
+    fn query_stats_identical_threads_1_vs_4(
+        col0 in proptest::collection::vec(0u64..700, 250),
+        col1 in proptest::collection::vec(0u64..700, 250),
+        seed in any::<u64>(),
+    ) {
+        let w = world(vec![col0, col1], seed);
+        let seq = SpOracle::new(&w.table, &w.tm_a).with_threads(1);
+        let par = SpOracle::new(&w.table, &w.tm_b).with_threads(4);
+        let (mut engine_seq, mut engine_par) = engine_pair(&w);
+        let mut rng_seq = StdRng::seed_from_u64(seed ^ 0x11);
+        let mut rng_par = StdRng::seed_from_u64(seed ^ 0x11);
+
+        for (qi, p) in queries(700).iter().enumerate() {
+            let ep = trapdoor(&w, p, seed.wrapping_add(qi as u64));
+            let before_seq = seq.qpf_uses();
+            let before_par = par.qpf_uses();
+            let a = engine_seq.select(&seq, &ep, &mut rng_seq);
+            let b = engine_par.select(&par, &ep, &mut rng_par);
+            prop_assert_eq!(a.sorted(), b.sorted(), "query {}", qi);
+            prop_assert_eq!(a.stats, b.stats, "stats breakdown drifted at query {}", qi);
+            prop_assert_eq!(
+                a.stats.qpf_uses, seq.qpf_uses() - before_seq,
+                "seq stats must equal the oracle-counter delta at query {}", qi
+            );
+            prop_assert_eq!(
+                b.stats.qpf_uses, par.qpf_uses() - before_par,
+                "par stats must equal the oracle-counter delta at query {}", qi
+            );
+        }
+
+        // MD rectangle + conjunction round out the per-pipeline coverage.
+        let dims = [
+            [
+                trapdoor(&w, &Predicate::cmp(0, ComparisonOp::Gt, 100), seed ^ 21),
+                trapdoor(&w, &Predicate::cmp(0, ComparisonOp::Lt, 500), seed ^ 22),
+            ],
+            [
+                trapdoor(&w, &Predicate::cmp(1, ComparisonOp::Gt, 150), seed ^ 23),
+                trapdoor(&w, &Predicate::cmp(1, ComparisonOp::Lt, 600), seed ^ 24),
+            ],
+        ];
+        let a = engine_seq.select_range_md(&seq, &dims, &mut rng_seq);
+        let b = engine_par.select_range_md(&par, &dims, &mut rng_par);
+        prop_assert_eq!(a.sorted(), b.sorted());
+        prop_assert_eq!(a.stats, b.stats, "MD stats drifted");
+
+        let preds = vec![
+            trapdoor(&w, &Predicate::cmp(0, ComparisonOp::Ge, 50), seed ^ 31),
+            trapdoor(&w, &Predicate::between(1, 100, 400), seed ^ 32),
+        ];
+        let a = engine_seq.select_conjunction(&seq, &preds, &mut rng_seq);
+        let b = engine_par.select_conjunction(&par, &preds, &mut rng_par);
+        prop_assert_eq!(a.sorted(), b.sorted());
+        prop_assert_eq!(a.stats, b.stats, "conjunction stats drifted");
+    }
+
+    /// A transient-fault + retry path (requests lost before the TM, so no
+    /// QPF is spent on faulted calls) produces byte-identical `QueryStats`
+    /// to the fault-free run — under 4 oracle threads, per the CI pin.
+    #[test]
+    fn query_stats_identical_fault_free_vs_transient_retry(
+        col0 in proptest::collection::vec(0u64..700, 220),
+        col1 in proptest::collection::vec(0u64..700, 220),
+        seed in any::<u64>(),
+    ) {
+        let w = world(vec![col0, col1], seed);
+        let clean = SpOracle::new(&w.table, &w.tm_a).with_threads(4);
+        // Transient-only schedule: timeout/corruption faults spend real QPF
+        // on the inner oracle and would (correctly) show up in the delta.
+        let faulty = RetryOracle::new(
+            FaultInjector::new(
+                SpOracle::new(&w.table, &w.tm_b).with_threads(4),
+                FaultConfig {
+                    seed: seed ^ 0xFA017,
+                    transient_per_mille: 80,
+                    timeout_per_mille: 0,
+                    corruption_per_mille: 0,
+                    max_consecutive: 2,
+                },
+            ),
+            RetryPolicy::fast(4),
+        );
+        let (mut engine_clean, mut engine_faulty) = engine_pair(&w);
+        let mut rng_clean = StdRng::seed_from_u64(seed ^ 0x77);
+        let mut rng_faulty = StdRng::seed_from_u64(seed ^ 0x77);
+
+        for (qi, p) in queries(700).iter().enumerate() {
+            let ep = trapdoor(&w, p, seed.wrapping_add(1000 + qi as u64));
+            let before = faulty.qpf_uses();
+            let a = engine_clean.select(&clean, &ep, &mut rng_clean);
+            let b = engine_faulty
+                .try_select(&faulty, &ep, &mut rng_faulty)
+                .expect("transient faults are recoverable within the retry budget");
+            prop_assert_eq!(a.sorted(), b.sorted(), "query {}", qi);
+            prop_assert_eq!(a.stats, b.stats, "retry path changed the stats at query {}", qi);
+            prop_assert_eq!(
+                b.stats.qpf_uses, faulty.qpf_uses() - before,
+                "retried stats must equal the oracle-counter delta at query {}", qi
+            );
+        }
+        prop_assert!(
+            faulty.retries() > 0,
+            "the schedule must actually inject faults for this test to mean anything"
+        );
+        prop_assert_eq!(faulty.trips(), 0, "recoverable schedule must not trip the breaker");
+
+        // The fault counters flow into the metrics layer via
+        // record_fault_events; a private registry keeps this deterministic.
+        let reg = MetricsRegistry::new();
+        reg.record_fault_events(faulty.retries(), faulty.trips(), faulty.fast_fails(), 0);
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.counter("oracle_retries"), Some(faulty.retries()));
+        prop_assert_eq!(snap.counter("circuit_trips"), Some(0));
+    }
+}
+
+/// Non-proptest pin: the global registry's fault counters accumulate and
+/// reset through the public `Metric` names the docs promise.
+#[test]
+fn fault_metric_names_are_stable() {
+    let reg = MetricsRegistry::new();
+    reg.add(Metric::OracleRetries, 3);
+    reg.add(Metric::FaultsInjected, 5);
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("oracle_retries"), Some(3));
+    assert_eq!(snap.counter("faults_injected"), Some(5));
+    assert!(snap.to_json().contains("\"oracle_retries\":3"));
+}

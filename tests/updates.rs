@@ -3,9 +3,7 @@
 //! mirror as ground truth.
 
 use prkb::core::{EngineConfig, PrkbEngine};
-use prkb::edbms::{
-    ComparisonOp, DataOwner, PlainTable, Predicate, SpOracle, TmConfig,
-};
+use prkb::edbms::{ComparisonOp, DataOwner, PlainTable, Predicate, SpOracle, TmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,7 +17,10 @@ fn interleaved_insert_delete_query_churn() {
     let plain = PlainTable::single_column(
         "t",
         "x",
-        mirror.iter().map(|v| v.expect("initial values live")).collect(),
+        mirror
+            .iter()
+            .map(|v| v.expect("initial values live"))
+            .collect(),
     );
     let owner = DataOwner::with_seed(7);
     let mut table = owner.encrypt_table(&plain, &mut rng);
@@ -63,9 +64,7 @@ fn interleaved_insert_delete_query_churn() {
                 let expected: Vec<u32> = mirror
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, v)| {
-                        v.and_then(|v| p.eval(v).then_some(i as u32))
-                    })
+                    .filter_map(|(i, v)| v.and_then(|v| p.eval(v).then_some(i as u32)))
                     .collect();
                 assert_eq!(sel.sorted(), expected, "round {round}, {p:?}");
             }
@@ -113,7 +112,7 @@ fn insert_cost_is_logarithmic_in_k() {
         let before = tm.qpf_uses();
         let oracle = SpOracle::new(&table, &tm);
         engine.insert(&oracle, t);
-        let spent = tm.qpf_uses() - before;
+        let spent = tm.qpf_uses().saturating_sub(before);
         assert!(spent <= budget, "insert spent {spent} QPF with k={k}");
     }
 }
