@@ -501,6 +501,46 @@ impl<P: SpPredicate> PrkbEngine<P> {
         Ok(Selection { tuples, stats: agg })
     }
 
+    /// Checks the named attributes' knowledge **out** of this engine into a
+    /// detached sub-engine (same configuration), for a concurrent scheduler
+    /// that wants to hold the shared engine's lock only while moving
+    /// knowledge, not while spending QPF uses on evaluation.
+    ///
+    /// The returned engine owns exactly the deduplicated `attrs`; this
+    /// engine no longer knows them until [`attach`](Self::attach) moves the
+    /// (possibly refined) knowledge back. Callers are responsible for
+    /// tracking which attributes are detached — a second `detach_attrs` on
+    /// the same attribute reports it as uninitialized.
+    ///
+    /// # Errors
+    /// [`QueryError::AttrNotInitialized`] if any attribute is absent; no
+    /// knowledge is moved in that case.
+    pub fn detach_attrs(&mut self, attrs: &[AttrId]) -> Result<PrkbEngine<P>, QueryError> {
+        let mut wanted: Vec<AttrId> = attrs.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        for &attr in &wanted {
+            if !self.kbs.contains_key(&attr) {
+                return Err(QueryError::AttrNotInitialized(attr));
+            }
+        }
+        let mut sub = PrkbEngine::new(self.config);
+        for attr in wanted {
+            let kb = self.kbs.remove(&attr).expect("checked above");
+            sub.kbs.insert(attr, kb);
+        }
+        Ok(sub)
+    }
+
+    /// Moves every attribute of a detached sub-engine (see
+    /// [`detach_attrs`](Self::detach_attrs)) back into this engine,
+    /// replacing any same-named attribute wholesale.
+    pub fn attach(&mut self, sub: PrkbEngine<P>) {
+        for (attr, kb) in sub.kbs {
+            self.kbs.insert(attr, kb);
+        }
+    }
+
     /// Routes a freshly inserted tuple into every indexed attribute
     /// (paper §7.1; O(β lg k) QPF uses in total).
     ///
@@ -776,6 +816,45 @@ mod tests {
         ];
         let sel = engine.select_conjunction(&oracle, &preds, &mut rng);
         assert_eq!(sel.sorted(), oracle.expected_conjunction(&preds));
+    }
+
+    #[test]
+    fn detach_evaluate_attach_matches_inline() {
+        // The scheduler's lock discipline: queries run on a detached
+        // sub-engine and the refined knowledge is attached back. Results and
+        // QPF must match the inline path exactly.
+        let (mut engine, oracle) = engine_2d(400, 17);
+        let (mut inline_engine, inline_oracle) = engine_2d(400, 17);
+        for (i, bound) in [120u64, 640, 300, 880, 300].into_iter().enumerate() {
+            let p = Predicate::cmp((i % 2) as u32, ComparisonOp::Lt, bound);
+            let mut sub = engine.detach_attrs(&[p.attr()]).expect("detach");
+            assert!(
+                engine.knowledge(p.attr()).is_none(),
+                "knowledge moved out while detached"
+            );
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            let sel = sub.try_select(&oracle, &p, &mut rng).expect("select");
+            engine.attach(sub);
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            let want = inline_engine
+                .try_select(&inline_oracle, &p, &mut rng)
+                .expect("inline");
+            assert_eq!(sel.sorted(), want.sorted());
+            assert_eq!(sel.stats.qpf_uses, want.stats.qpf_uses);
+            engine
+                .knowledge(p.attr())
+                .expect("attached back")
+                .validate()
+                .expect("valid after attach");
+        }
+    }
+
+    #[test]
+    fn detach_missing_attr_moves_nothing() {
+        let (mut engine, _) = engine_2d(100, 19);
+        let err = engine.detach_attrs(&[0, 7]).expect_err("attr 7 missing");
+        assert!(matches!(err, QueryError::AttrNotInitialized(7)));
+        assert!(engine.knowledge(0).is_some(), "attr 0 must not be stranded");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Number of counter metrics (length of [`Metric::ALL`]).
-const COUNTER_COUNT: usize = 24;
+const COUNTER_COUNT: usize = 27;
 
 /// Every counter the registry tracks. Names (via [`Metric::name`]) are part
 /// of the `prkb-metrics/v1` JSON schema: never rename, only append.
@@ -80,6 +80,14 @@ pub enum Metric {
     FaultsInjected,
     /// Warm-up runs that hit their query cap below the target k.
     WarmupUnderTarget,
+    /// Requests served by `prkb-server` (every decoded wire request).
+    ServerRequests,
+    /// Bytes moved across the server's wire protocol (frames in + out,
+    /// headers included).
+    ServerBytes,
+    /// Malformed wire frames rejected by the server (bad CRC, oversized,
+    /// truncated, or undecodable payloads).
+    FrameErrors,
 }
 
 impl Metric {
@@ -109,6 +117,9 @@ impl Metric {
         Metric::FastFails,
         Metric::FaultsInjected,
         Metric::WarmupUnderTarget,
+        Metric::ServerRequests,
+        Metric::ServerBytes,
+        Metric::FrameErrors,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -138,6 +149,9 @@ impl Metric {
             Metric::FastFails => "fast_fails",
             Metric::FaultsInjected => "faults_injected",
             Metric::WarmupUnderTarget => "warmup_under_target",
+            Metric::ServerRequests => "server_requests",
+            Metric::ServerBytes => "server_bytes",
+            Metric::FrameErrors => "frame_errors",
         }
     }
 

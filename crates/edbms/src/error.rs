@@ -47,6 +47,22 @@ pub enum EdbmsError {
     },
 }
 
+impl EdbmsError {
+    /// Stable numeric code for the `prkb-wire/v1` protocol. Part of the
+    /// wire contract: codes are never reused, only appended.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            EdbmsError::Crypto(_) => 1,
+            EdbmsError::TupleOutOfRange { .. } => 2,
+            EdbmsError::AttrOutOfRange { .. } => 3,
+            EdbmsError::TableMismatch { .. } => 4,
+            EdbmsError::ArityMismatch { .. } => 5,
+            EdbmsError::MalformedTrapdoor => 6,
+            EdbmsError::EmptyRange { .. } => 7,
+        }
+    }
+}
+
 impl fmt::Display for EdbmsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -61,7 +77,10 @@ impl fmt::Display for EdbmsError {
                 write!(f, "trapdoor for table {expected:?} used against {actual:?}")
             }
             EdbmsError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "row arity {actual} does not match schema arity {expected}"
+                )
             }
             EdbmsError::MalformedTrapdoor => write!(f, "malformed trapdoor payload"),
             EdbmsError::EmptyRange { lo, hi } => {

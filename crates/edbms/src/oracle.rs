@@ -64,6 +64,18 @@ impl OracleError {
     pub fn is_retryable(&self) -> bool {
         matches!(self, OracleError::Transient(_) | OracleError::Timeout(_))
     }
+
+    /// Stable numeric code for the `prkb-wire/v1` protocol. Part of the
+    /// wire contract: codes are never reused, only appended.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            OracleError::Transient(_) => 1,
+            OracleError::Timeout(_) => 2,
+            OracleError::Corruption(_) => 3,
+            OracleError::Unavailable { .. } => 4,
+            OracleError::Fatal(_) => 5,
+        }
+    }
 }
 
 impl fmt::Display for OracleError {

@@ -1,0 +1,237 @@
+//! Blocking loopback client for the `prkb-wire/v1` protocol.
+//!
+//! One [`PrkbClient`] wraps one TCP connection; every method sends one
+//! request frame and blocks for the matching response frame. The client is
+//! deliberately dumb — no retries, no pooling — because its job is to be a
+//! *reference peer*: the loopback equivalence tests drive the server through
+//! it and compare against the in-process engine byte for byte.
+
+use crate::proto::{ProtoError, Request, Response};
+use crate::wire::{write_frame, FrameError, FrameReader, ReadStep};
+use prkb_core::snapshot::WireCodec;
+use prkb_core::{InsertOutcome, QueryStats};
+use prkb_edbms::{AttrId, TupleId};
+use std::fmt;
+use std::io;
+use std::marker::PhantomData;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Failures a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The response stream lost framing.
+    Frame(FrameError),
+    /// A well-framed response failed to decode.
+    Proto(ProtoError),
+    /// The server answered with a structured error.
+    Server {
+        /// Stable [`crate::proto::code`] value.
+        code: u16,
+        /// Server-side context.
+        message: String,
+    },
+    /// The server answered with the wrong response kind for this request.
+    Unexpected(&'static str),
+    /// The server closed the connection instead of responding.
+    ConnectionClosed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O failure: {e}"),
+            ClientError::Frame(e) => write!(f, "response framing failure: {e}"),
+            ClientError::Proto(e) => write!(f, "response protocol failure: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A committed selection as seen over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionReply {
+    /// Global commit sequence number assigned by the server.
+    pub seq: u64,
+    /// Satisfying tuple ids (order unspecified).
+    pub tuples: Vec<TupleId>,
+    /// Per-query cost accounting, exact even under server concurrency.
+    pub stats: QueryStats,
+}
+
+impl SelectionReply {
+    /// The tuple ids, sorted (result sets are order-free).
+    pub fn sorted(&self) -> Vec<TupleId> {
+        let mut t = self.tuples.clone();
+        t.sort_unstable();
+        t
+    }
+}
+
+/// Blocking client over one connection (see the module docs).
+pub struct PrkbClient<P> {
+    stream: TcpStream,
+    reader: FrameReader,
+    max_frame_len: u32,
+    _pred: PhantomData<P>,
+}
+
+impl<P: WireCodec> PrkbClient<P> {
+    /// Connects with the default frame cap.
+    ///
+    /// # Errors
+    /// Socket connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(PrkbClient {
+            stream,
+            reader: FrameReader::new(),
+            max_frame_len: crate::wire::DEFAULT_MAX_FRAME_LEN,
+            _pred: PhantomData,
+        })
+    }
+
+    fn call(&mut self, req: &Request<P>) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        loop {
+            match self.reader.poll(&mut self.stream, self.max_frame_len)? {
+                ReadStep::Frame { payload, .. } => return Ok(Response::decode(&payload)?),
+                ReadStep::Closed => return Err(ClientError::ConnectionClosed),
+                // The client socket has no read timeout, but be robust to
+                // one having been set on the fd by the environment.
+                ReadStep::Idle | ReadStep::Stalled => continue,
+            }
+        }
+    }
+
+    fn expect_selection(resp: Response) -> Result<SelectionReply, ClientError> {
+        match resp {
+            Response::Selection { seq, tuples, stats } => Ok(SelectionReply { seq, tuples, stats }),
+            other => Err(err_of(other, "selection")),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(err_of(other, "pong")),
+        }
+    }
+
+    /// Single-predicate selection. `seed` drives the server-side sampling
+    /// RNG, making the run reproducible.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn select(&mut self, seed: u64, pred: P) -> Result<SelectionReply, ClientError> {
+        let resp = self.call(&Request::Select { seed, pred })?;
+        Self::expect_selection(resp)
+    }
+
+    /// Single-predicate BETWEEN selection.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn between(&mut self, seed: u64, pred: P) -> Result<SelectionReply, ClientError> {
+        let resp = self.call(&Request::Between { seed, pred })?;
+        Self::expect_selection(resp)
+    }
+
+    /// Multi-dimensional range selection (two comparison trapdoors per
+    /// dimension).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn select_range_md(
+        &mut self,
+        seed: u64,
+        dims: Vec<[P; 2]>,
+    ) -> Result<SelectionReply, ClientError> {
+        let resp = self.call(&Request::SelectRangeMd { seed, dims })?;
+        Self::expect_selection(resp)
+    }
+
+    /// Routes an already-uploaded tuple into every indexed attribute.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn insert(
+        &mut self,
+        tuple: TupleId,
+    ) -> Result<(u64, Vec<(AttrId, InsertOutcome)>), ClientError> {
+        match self.call(&Request::Insert { tuple })? {
+            Response::Inserted { seq, outcomes } => Ok((seq, outcomes)),
+            other => Err(err_of(other, "insert outcomes")),
+        }
+    }
+
+    /// Removes a tuple from every indexed attribute.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn delete(&mut self, tuple: TupleId) -> Result<u64, ClientError> {
+        match self.call(&Request::Delete { tuple })? {
+            Response::Deleted { seq } => Ok(seq),
+            other => Err(err_of(other, "delete ack")),
+        }
+    }
+
+    /// Fetches the server's `prkb-metrics/v1` JSON snapshot.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::MetricsSnapshot)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(err_of(other, "metrics")),
+        }
+    }
+
+    /// Asks the server to drain and stop, consuming this connection.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server failure.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(err_of(other, "shutdown ack")),
+        }
+    }
+}
+
+fn err_of(resp: Response, wanted: &'static str) -> ClientError {
+    match resp {
+        Response::Error { code, message } => ClientError::Server { code, message },
+        _ => ClientError::Unexpected(wanted),
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-connection request loop.
+//!
+//! Each accepted socket is served by one worker thread: frames are read
+//! incrementally (poll ticks double as shutdown/idle-deadline checks),
+//! every frame payload decodes into one [`Request`], and exactly one
+//! [`Response`] frame is written back. Failure handling is two-tier,
+//! mirroring the WAL's trust model:
+//!
+//! * **frame damage** (bad CRC, oversized length, truncation) destroys
+//!   framing — the server sends a best-effort error frame and closes the
+//!   connection;
+//! * **payload damage** (unknown tag, truncated body, hostile counts) is
+//!   contained to one request — the server answers with a structured error
+//!   and keeps the connection alive.
+//!
+//! Hostile-but-well-framed input must never panic the worker: requests that
+//! would trip engine programmer-error assertions (duplicate MD dimensions,
+//! mismatched dimension attributes, out-of-range tuple ids) are rejected
+//! here, before dispatch.
+
+use crate::proto::{code, Request, Response};
+use crate::scheduler::Backend;
+use crate::wire::{write_frame, FrameReader, ReadStep};
+use prkb_core::metrics::{self, Metric};
+use prkb_core::snapshot::WireCodec;
+use prkb_core::SpPredicate;
+use prkb_edbms::{AttrId, SelectionOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// State shared between the accept loop and every connection worker.
+pub(crate) struct Shared<P: SpPredicate + WireCodec, O> {
+    /// The engine behind its concurrency discipline.
+    pub backend: Backend<P>,
+    /// The shared oracle; `RwLock` so a deployment can upload rows (a
+    /// `&mut` operation on test oracles) between queries.
+    pub oracle: Arc<RwLock<O>>,
+    /// Set once by a Shutdown request (or [`crate::ServerHandle`]): workers
+    /// finish their in-flight request, then close.
+    pub shutdown: AtomicBool,
+    /// Frame payload cap for this server.
+    pub max_frame_len: u32,
+    /// Socket read timeout — the poll tick granularity.
+    pub poll_tick: Duration,
+    /// Close connections idle longer than this.
+    pub idle_deadline: Duration,
+    /// Served requests (every decoded frame counts, errors included).
+    pub requests: AtomicU64,
+    /// Wire bytes in + out.
+    pub bytes: AtomicU64,
+    /// Stream-fatal framing failures.
+    pub frame_errors: AtomicU64,
+    /// The listener's own address — connected-to once to wake the blocking
+    /// accept loop when shutdown is triggered.
+    pub wake_addr: std::net::SocketAddr,
+}
+
+impl<P: SpPredicate + WireCodec, O> Shared<P, O> {
+    /// Flips the shutdown flag and pokes the accept loop awake so it can
+    /// observe the flag instead of blocking in `accept` forever.
+    pub(crate) fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.wake_addr, Duration::from_secs(1));
+    }
+}
+
+/// Serves one accepted connection to completion.
+pub(crate) fn serve<P, O>(shared: &Shared<P, O>, mut stream: TcpStream)
+where
+    P: SpPredicate + WireCodec,
+    O: SelectionOracle<Pred = P>,
+{
+    if stream.set_read_timeout(Some(shared.poll_tick)).is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new();
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.poll(&mut stream, shared.max_frame_len) {
+            Ok(ReadStep::Frame {
+                payload,
+                bytes_consumed,
+            }) => {
+                last_activity = Instant::now();
+                shared
+                    .bytes
+                    .fetch_add(bytes_consumed as u64, Ordering::Relaxed);
+                metrics::global().add(Metric::ServerBytes, bytes_consumed as u64);
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                metrics::global().add(Metric::ServerRequests, 1);
+
+                let (resp, close) = handle(shared, &payload);
+                if respond(shared, &mut stream, &resp).is_err() || close {
+                    return;
+                }
+            }
+            Ok(ReadStep::Idle) | Ok(ReadStep::Stalled) => {
+                if last_activity.elapsed() >= shared.idle_deadline {
+                    return;
+                }
+            }
+            Ok(ReadStep::Closed) => return,
+            Err(e) => {
+                shared.frame_errors.fetch_add(1, Ordering::Relaxed);
+                metrics::global().add(Metric::FrameErrors, 1);
+                // Framing is lost: tell the peer why (best effort — the
+                // stream may be dead) and close.
+                let resp = Response::Error {
+                    code: code::FRAME,
+                    message: e.to_string(),
+                };
+                let _ = respond(shared, &mut stream, &resp);
+                let _ = stream.flush();
+                return;
+            }
+        }
+    }
+}
+
+fn respond<P: SpPredicate + WireCodec, O>(
+    shared: &Shared<P, O>,
+    stream: &mut TcpStream,
+    resp: &Response,
+) -> std::io::Result<()> {
+    let payload = resp.encode();
+    let wire_len = (payload.len() + crate::wire::FRAME_HEADER_LEN) as u64;
+    shared.bytes.fetch_add(wire_len, Ordering::Relaxed);
+    metrics::global().add(Metric::ServerBytes, wire_len);
+    write_frame(stream, &payload)
+}
+
+/// Decodes and dispatches one request payload. Returns the response and
+/// whether the connection must close afterwards.
+fn handle<P, O>(shared: &Shared<P, O>, payload: &[u8]) -> (Response, bool)
+where
+    P: SpPredicate + WireCodec,
+    O: SelectionOracle<Pred = P>,
+{
+    let req = match Request::<P>::decode(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            return (
+                Response::Error {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                },
+                false,
+            );
+        }
+    };
+    match req {
+        Request::Ping => (Response::Ok, false),
+        Request::Select { seed, pred } | Request::Between { seed, pred } => {
+            let oracle = read_oracle(&shared.oracle);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match shared.backend.select(&*oracle, &pred, &mut rng) {
+                Ok((sel, seq)) => (
+                    Response::Selection {
+                        seq,
+                        tuples: sel.tuples,
+                        stats: sel.stats,
+                    },
+                    false,
+                ),
+                Err(e) => (error_of(&e), false),
+            }
+        }
+        Request::SelectRangeMd { seed, dims } => {
+            if let Err(resp) = validate_dims(&dims) {
+                return (resp, false);
+            }
+            let oracle = read_oracle(&shared.oracle);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match shared.backend.select_range_md(&*oracle, &dims, &mut rng) {
+                Ok((sel, seq)) => (
+                    Response::Selection {
+                        seq,
+                        tuples: sel.tuples,
+                        stats: sel.stats,
+                    },
+                    false,
+                ),
+                Err(e) => (error_of(&e), false),
+            }
+        }
+        Request::Insert { tuple } => {
+            let oracle = read_oracle(&shared.oracle);
+            // An id beyond the oracle's slots has no uploaded row behind it;
+            // routing it would be evaluating trapdoors against nothing.
+            if tuple as usize >= oracle.n_slots() {
+                return (
+                    Response::Error {
+                        code: code::MALFORMED,
+                        message: format!("tuple {tuple} beyond table ({} slots)", oracle.n_slots()),
+                    },
+                    false,
+                );
+            }
+            match shared.backend.insert(&*oracle, tuple) {
+                Ok((outcomes, seq)) => (Response::Inserted { seq, outcomes }, false),
+                Err(e) => (error_of(&e), false),
+            }
+        }
+        Request::Delete { tuple } => match shared.backend.delete(tuple) {
+            Ok(seq) => (Response::Deleted { seq }, false),
+            Err(e) => (error_of(&e), false),
+        },
+        Request::MetricsSnapshot => (
+            Response::Metrics {
+                json: metrics::global().snapshot().to_json(),
+            },
+            false,
+        ),
+        Request::Shutdown => {
+            shared.trigger_shutdown();
+            (Response::Ok, true)
+        }
+    }
+}
+
+fn read_oracle<O>(oracle: &RwLock<O>) -> std::sync::RwLockReadGuard<'_, O> {
+    match oracle.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn error_of(e: &crate::scheduler::ServeError) -> Response {
+    Response::Error {
+        code: e.wire_code(),
+        message: e.to_string(),
+    }
+}
+
+/// Rejects MD dimension lists the engine would treat as programmer error:
+/// empty lists, mismatched attributes inside a dimension, and the same
+/// attribute across two dimensions.
+fn validate_dims<P: SpPredicate>(dims: &[[P; 2]]) -> Result<(), Response> {
+    if dims.is_empty() {
+        return Err(Response::Error {
+            code: code::MALFORMED,
+            message: "MD range query needs at least one dimension".into(),
+        });
+    }
+    let mut seen: HashSet<AttrId> = HashSet::new();
+    for pair in dims {
+        if pair[0].attr() != pair[1].attr() {
+            return Err(Response::Error {
+                code: code::MALFORMED,
+                message: format!(
+                    "dimension trapdoors disagree on attribute ({} vs {})",
+                    pair[0].attr(),
+                    pair[1].attr()
+                ),
+            });
+        }
+        if !seen.insert(pair[0].attr()) {
+            return Err(Response::Error {
+                code: code::DUPLICATE_DIMENSION,
+                message: format!("attribute {} listed in two dimensions", pair[0].attr()),
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # prkb-server — networked service-provider front end
+//!
+//! Exposes a [`prkb_core::PrkbEngine`] as a TCP service speaking
+//! `prkb-wire/v1`: length-prefixed, CRC32-guarded binary frames
+//! ([`wire`]) carrying versioned request/response payloads ([`proto`]).
+//! The deployment picture matches the paper's: clients hold trapdoors
+//! (issued by the data owner), the service provider holds the PRKB index
+//! and the oracle boundary, and only tuple ids and trapdoors ever cross
+//! the wire — never plaintext or keys.
+//!
+//! Layers, bottom up:
+//!
+//! * [`wire`] — framing, reusing the WAL's discipline (`len | crc | payload`);
+//! * [`proto`] — requests, responses, stable error codes;
+//! * [`scheduler`] — the checkout/checkin concurrency discipline: the
+//!   engine lock is held only to move knowledge, never while QPF is spent;
+//! * [`conn`] (private) — the per-connection serve loop;
+//! * [`server`] — accept loop, bounded worker pool, graceful drain;
+//! * [`client`] — the blocking reference client.
+//!
+//! ```no_run
+//! use prkb_core::{EngineConfig, PrkbEngine};
+//! use prkb_edbms::testing::PlainOracle;
+//! use prkb_edbms::{ComparisonOp, Predicate};
+//! use prkb_server::{PrkbClient, PrkbServer, ServerConfig};
+//!
+//! let oracle = PlainOracle::single_column((0..1000).collect());
+//! let mut engine: PrkbEngine<Predicate> = PrkbEngine::new(EngineConfig::default());
+//! engine.init_attr(0, 1000);
+//! let server = PrkbServer::bind("127.0.0.1:0", engine, oracle, ServerConfig::default())?;
+//! let addr = server.local_addr()?;
+//! let handle = server.spawn()?;
+//!
+//! let mut client: PrkbClient<Predicate> = PrkbClient::connect(addr)?;
+//! let reply = client.select(42, Predicate::cmp(0, ComparisonOp::Lt, 500))?;
+//! assert_eq!(reply.tuples.len(), 500);
+//! client.shutdown()?;
+//! handle.join()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, PrkbClient, SelectionReply};
+pub use proto::{ProtoError, Request, Response, PROTO_VERSION};
+pub use scheduler::{Backend, ServeError, SessionOracle, SessionScheduler};
+pub use server::{PrkbServer, ServerConfig, ServerHandle, ServerReport};
+pub use wire::{FrameError, FrameReader, DEFAULT_MAX_FRAME_LEN};

@@ -1,0 +1,591 @@
+//! Session scheduler: multiplexes concurrent connections onto one shared
+//! PRKB engine.
+//!
+//! The engine's refinement commits must be serialized — two queries refining
+//! the same attribute's knowledge concurrently would race — but the
+//! *expensive* part of a query is QPF evaluation, which the core pipelines
+//! already split from commit (evaluate-then-commit, PR 2). The scheduler
+//! exploits that split with a **checkout/checkin** protocol:
+//!
+//! 1. under the engine lock, the query's attribute footprint is *detached*
+//!    into a private sub-engine ([`prkb_core::PrkbEngine::detach_attrs`]) and
+//!    the attributes are marked busy;
+//! 2. the lock is dropped and the query evaluates (all oracle traffic, all
+//!    QPF spending) against the detached knowledge, concurrently with any
+//!    query whose footprint is disjoint;
+//! 3. under the lock again, the refined knowledge is *attached* back, the
+//!    attributes are freed, and a global **commit sequence number** is
+//!    assigned.
+//!
+//! Queries with overlapping footprints wait on a condvar, so per attribute
+//! the query order is serial. That gives the scheduler its observable
+//! contract: the concurrent execution is indistinguishable from replaying
+//! the queries sequentially in commit-sequence order — same results, same
+//! per-query QPF spend (the loopback tests assert exactly this).
+//!
+//! Because per-query cost accounting in the core pipelines is delta-based
+//! over [`SelectionOracle::qpf_uses`], a *shared* oracle counter would bleed
+//! concurrent queries' costs into each other's stats. [`SessionOracle`]
+//! wraps the shared oracle with a per-query counter so stats stay exact
+//! under concurrency.
+
+use prkb_core::snapshot::WireCodec;
+use prkb_core::{
+    DurableEngine, DurableError, InsertOutcome, PrkbEngine, QueryError, Selection, SpPredicate,
+};
+use prkb_edbms::trapdoor::PredicateKind;
+use prkb_edbms::{AttrId, OracleError, SelectionOracle, TupleId};
+use rand::Rng;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Failures a scheduled request can produce.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query failed in the engine (oracle fault, unknown attribute).
+    Query(QueryError),
+    /// The durable backing store failed; nothing was committed.
+    Durable(DurableError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Query(e) => write!(f, "{e}"),
+            ServeError::Durable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+impl From<DurableError> for ServeError {
+    fn from(e: DurableError) -> Self {
+        ServeError::Durable(e)
+    }
+}
+
+impl ServeError {
+    /// Maps this failure onto its stable `prkb-wire/v1` error code.
+    pub fn wire_code(&self) -> u16 {
+        use crate::proto::code;
+        match self {
+            ServeError::Query(QueryError::AttrNotInitialized(_))
+            | ServeError::Durable(DurableError::Query(QueryError::AttrNotInitialized(_))) => {
+                code::ATTR_NOT_INITIALIZED
+            }
+            ServeError::Query(QueryError::Oracle(e))
+            | ServeError::Durable(DurableError::Query(QueryError::Oracle(e))) => {
+                oracle_wire_code(e)
+            }
+            ServeError::Durable(_) => code::DURABILITY,
+        }
+    }
+}
+
+fn oracle_wire_code(e: &OracleError) -> u16 {
+    crate::proto::code::ORACLE_BASE + e.wire_code()
+}
+
+/// Per-session QPF counting wrapper over a shared oracle.
+///
+/// Delegates every evaluation to the inner oracle but answers
+/// [`SelectionOracle::qpf_uses`] from its own counter, so the delta-based
+/// per-query stats in the core pipelines are exact even while other
+/// sessions spend QPF uses on the same shared oracle. Counting follows the
+/// batch contract: one use per tuple, whether batched or not.
+#[derive(Debug)]
+pub struct SessionOracle<'a, O> {
+    inner: &'a O,
+    uses: AtomicU64,
+}
+
+impl<'a, O> SessionOracle<'a, O> {
+    /// Wraps `inner` with a fresh zero counter.
+    pub fn new(inner: &'a O) -> Self {
+        SessionOracle {
+            inner,
+            uses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<O: SelectionOracle> SelectionOracle for SessionOracle<'_, O> {
+    type Pred = O::Pred;
+
+    fn try_eval(&self, pred: &Self::Pred, t: TupleId) -> Result<bool, OracleError> {
+        self.uses.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_eval(pred, t)
+    }
+
+    fn try_eval_batch(
+        &self,
+        pred: &Self::Pred,
+        tuples: &[TupleId],
+        out: &mut Vec<bool>,
+    ) -> Result<(), OracleError> {
+        self.uses.fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        self.inner.try_eval_batch(pred, tuples, out)
+    }
+
+    fn kind_of(&self, pred: &Self::Pred) -> PredicateKind {
+        self.inner.kind_of(pred)
+    }
+
+    fn n_slots(&self) -> usize {
+        self.inner.n_slots()
+    }
+
+    fn is_live(&self, t: TupleId) -> bool {
+        self.inner.is_live(t)
+    }
+
+    fn qpf_uses(&self) -> u64 {
+        self.uses.load(Ordering::Relaxed)
+    }
+}
+
+struct SchedulerState<P: SpPredicate> {
+    engine: PrkbEngine<P>,
+    busy: HashSet<AttrId>,
+    seq: u64,
+}
+
+/// Checkout/checkin scheduler over one shared [`PrkbEngine`].
+pub struct SessionScheduler<P: SpPredicate> {
+    state: Mutex<SchedulerState<P>>,
+    freed: Condvar,
+}
+
+impl<P: SpPredicate> SessionScheduler<P> {
+    /// Wraps `engine` for concurrent use.
+    pub fn new(engine: PrkbEngine<P>) -> Self {
+        SessionScheduler {
+            state: Mutex::new(SchedulerState {
+                engine,
+                busy: HashSet::new(),
+                seq: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedulerState<P>> {
+        // A worker that panicked mid-commit cannot be reasoned about; treat
+        // the lock as still usable (knowledge moves are two-phase and the
+        // engine is abort-safe) rather than cascading the panic.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Runs `f` against the detached knowledge of `attrs`, holding the
+    /// engine lock only for checkout and checkin. Returns `f`'s result and
+    /// the commit sequence number assigned at checkin.
+    ///
+    /// # Errors
+    /// [`QueryError::AttrNotInitialized`] if any attribute is unknown (no
+    /// knowledge is moved), or whatever `f` reports (the knowledge is still
+    /// reattached — the core pipelines leave it untouched on abort).
+    pub fn with_detached<T>(
+        &self,
+        attrs: &[AttrId],
+        f: impl FnOnce(&mut PrkbEngine<P>) -> Result<T, QueryError>,
+    ) -> Result<(T, u64), ServeError> {
+        let mut sub = {
+            let mut state = self.lock();
+            while attrs.iter().any(|a| state.busy.contains(a)) {
+                state = match self.freed.wait(state) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+            let sub = state.engine.detach_attrs(attrs)?;
+            state.busy.extend(attrs.iter().copied());
+            sub
+        };
+
+        // Evaluation happens here, outside the lock. A panic guard checks
+        // the knowledge back in even if `f` unwinds, so one poisoned query
+        // cannot strand an attribute's index.
+        let mut guard = Checkin {
+            sched: self,
+            attrs,
+            sub: None,
+        };
+        let result = f(&mut sub);
+        guard.sub = Some(sub);
+
+        match result {
+            Ok(value) => {
+                let seq = guard.checkin(true);
+                Ok((value, seq))
+            }
+            Err(e) => {
+                guard.checkin(false);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Runs `f` with exclusive access to the whole engine (waits for every
+    /// in-flight checkout to finish first) and assigns a commit sequence
+    /// number. For operations whose footprint is every attribute: inserts,
+    /// deletes.
+    pub fn with_exclusive<T>(&self, f: impl FnOnce(&mut PrkbEngine<P>) -> T) -> (T, u64) {
+        let mut state = self.wait_quiescent();
+        let value = f(&mut state.engine);
+        state.seq += 1;
+        (value, state.seq)
+    }
+
+    /// Runs `f` with read access to the quiescent engine, without assigning
+    /// a sequence number. For validation and inspection.
+    pub fn inspect<T>(&self, f: impl FnOnce(&PrkbEngine<P>) -> T) -> T {
+        let state = self.wait_quiescent();
+        f(&state.engine)
+    }
+
+    /// Waits for all checkouts to return, then hands the engine back for
+    /// single-threaded use (server shutdown).
+    pub fn into_engine(self) -> PrkbEngine<P> {
+        drop(self.wait_quiescent());
+        match self.state.into_inner() {
+            Ok(state) => state.engine,
+            Err(poisoned) => poisoned.into_inner().engine,
+        }
+    }
+
+    fn wait_quiescent(&self) -> MutexGuard<'_, SchedulerState<P>> {
+        let mut state = self.lock();
+        while !state.busy.is_empty() {
+            state = match self.freed.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        state
+    }
+}
+
+/// Panic-safe checkin: reattaches detached knowledge and frees the busy
+/// attributes on drop. The happy path calls [`Checkin::checkin`] explicitly
+/// to also obtain a sequence number.
+struct Checkin<'a, P: SpPredicate> {
+    sched: &'a SessionScheduler<P>,
+    attrs: &'a [AttrId],
+    sub: Option<PrkbEngine<P>>,
+}
+
+impl<P: SpPredicate> Checkin<'_, P> {
+    fn checkin(&mut self, committed: bool) -> u64 {
+        let sub = self.sub.take().expect("checkin called once, with sub set");
+        let mut state = self.sched.lock();
+        state.engine.attach(sub);
+        for a in self.attrs {
+            state.busy.remove(a);
+        }
+        if committed {
+            state.seq += 1;
+        }
+        let seq = state.seq;
+        drop(state);
+        self.sched.freed.notify_all();
+        seq
+    }
+}
+
+impl<P: SpPredicate> Drop for Checkin<'_, P> {
+    fn drop(&mut self) {
+        if self.sub.is_some() {
+            self.checkin(false);
+        }
+    }
+}
+
+/// The engine a server fronts: either a shared in-memory engine behind the
+/// checkout/checkin scheduler, or a [`DurableEngine`] behind a coarse lock
+/// (the write-ahead log must observe commits in order, so durable mode
+/// trades evaluate-phase concurrency for crash safety).
+pub enum Backend<P: SpPredicate + WireCodec> {
+    /// In-memory engine, evaluate-phase concurrency via the scheduler.
+    Shared(SessionScheduler<P>),
+    /// Durable engine, serialized end to end.
+    Durable(Mutex<DurableSlot<P>>),
+}
+
+/// A durable engine plus its commit sequence counter.
+pub struct DurableSlot<P: SpPredicate + WireCodec> {
+    /// The WAL-backed engine.
+    pub engine: DurableEngine<P>,
+    /// Commit sequence, incremented per committed operation.
+    pub seq: u64,
+}
+
+impl<P: SpPredicate + WireCodec> Backend<P> {
+    fn durable_lock<'a>(slot: &'a Mutex<DurableSlot<P>>) -> MutexGuard<'a, DurableSlot<P>> {
+        match slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Single-predicate selection (comparison or BETWEEN trapdoor).
+    ///
+    /// # Errors
+    /// [`ServeError`] on engine or durability failure.
+    pub fn select<O, R>(
+        &self,
+        oracle: &O,
+        pred: &P,
+        rng: &mut R,
+    ) -> Result<(Selection, u64), ServeError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        match self {
+            Backend::Shared(sched) => {
+                let session = SessionOracle::new(oracle);
+                sched.with_detached(&[pred.attr()], |sub| sub.try_select(&session, pred, rng))
+            }
+            Backend::Durable(slot) => {
+                let mut slot = Self::durable_lock(slot);
+                let sel = slot.engine.try_select(oracle, pred, rng)?;
+                slot.seq += 1;
+                Ok((sel, slot.seq))
+            }
+        }
+    }
+
+    /// Multi-dimensional range selection (PRKB(MD)). Callers must have
+    /// rejected duplicate-attribute dimensions already (the engine treats
+    /// them as a programmer error).
+    ///
+    /// # Errors
+    /// [`ServeError`] on engine or durability failure.
+    pub fn select_range_md<O, R>(
+        &self,
+        oracle: &O,
+        dims: &[[P; 2]],
+        rng: &mut R,
+    ) -> Result<(Selection, u64), ServeError>
+    where
+        O: SelectionOracle<Pred = P>,
+        R: Rng,
+    {
+        match self {
+            Backend::Shared(sched) => {
+                let attrs: Vec<AttrId> = dims.iter().map(|d| d[0].attr()).collect();
+                let session = SessionOracle::new(oracle);
+                sched.with_detached(&attrs, |sub| sub.try_select_range_md(&session, dims, rng))
+            }
+            Backend::Durable(slot) => {
+                let mut slot = Self::durable_lock(slot);
+                let sel = slot.engine.try_select_range_md(oracle, dims, rng)?;
+                slot.seq += 1;
+                Ok((sel, slot.seq))
+            }
+        }
+    }
+
+    /// Insert routing across every indexed attribute (whole-engine
+    /// footprint, hence exclusive).
+    ///
+    /// # Errors
+    /// [`ServeError`] on engine or durability failure.
+    pub fn insert<O>(
+        &self,
+        oracle: &O,
+        t: TupleId,
+    ) -> Result<(Vec<(AttrId, InsertOutcome)>, u64), ServeError>
+    where
+        O: SelectionOracle<Pred = P>,
+    {
+        match self {
+            Backend::Shared(sched) => {
+                let (result, seq) = sched.with_exclusive(|engine| engine.try_insert(oracle, t));
+                Ok((result?, seq))
+            }
+            Backend::Durable(slot) => {
+                let mut slot = Self::durable_lock(slot);
+                let outcomes = slot.engine.try_insert(oracle, t)?;
+                slot.seq += 1;
+                Ok((outcomes, slot.seq))
+            }
+        }
+    }
+
+    /// Delete across every indexed attribute.
+    ///
+    /// # Errors
+    /// [`ServeError::Durable`] in durable mode; infallible when shared.
+    pub fn delete(&self, t: TupleId) -> Result<u64, ServeError> {
+        match self {
+            Backend::Shared(sched) => {
+                let ((), seq) = sched.with_exclusive(|engine| engine.delete(t));
+                Ok(seq)
+            }
+            Backend::Durable(slot) => {
+                let mut slot = Self::durable_lock(slot);
+                slot.engine.delete(t)?;
+                slot.seq += 1;
+                Ok(slot.seq)
+            }
+        }
+    }
+
+    /// Read access to the quiescent engine (validation, storage accounting).
+    pub fn inspect<T>(&self, f: impl FnOnce(&PrkbEngine<P>) -> T) -> T {
+        match self {
+            Backend::Shared(sched) => sched.inspect(f),
+            Backend::Durable(slot) => f(Self::durable_lock(slot).engine.engine()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prkb_core::EngineConfig;
+    use prkb_edbms::testing::PlainOracle;
+    use prkb_edbms::{ComparisonOp, Predicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn engine_with(oracle: &PlainOracle, attrs: u32) -> PrkbEngine<Predicate> {
+        let mut engine = PrkbEngine::new(EngineConfig::default());
+        for a in 0..attrs {
+            engine.init_attr(a, oracle.n_slots());
+        }
+        engine
+    }
+
+    #[test]
+    fn session_oracle_counts_locally() {
+        let oracle = PlainOracle::single_column((0..10).collect());
+        oracle.eval(&Predicate::cmp(0, ComparisonOp::Lt, 5), 0);
+        let session = SessionOracle::new(&oracle);
+        assert_eq!(session.qpf_uses(), 0, "fresh session counter");
+        session.eval(&Predicate::cmp(0, ComparisonOp::Lt, 5), 1);
+        let mut out = Vec::new();
+        session.eval_batch(
+            &Predicate::cmp(0, ComparisonOp::Lt, 5),
+            &[2, 3, 4],
+            &mut out,
+        );
+        assert_eq!(session.qpf_uses(), 4);
+        assert_eq!(oracle.qpf_uses(), 5, "shared counter still global");
+    }
+
+    #[test]
+    fn detached_select_matches_inline_and_assigns_seq() {
+        let values: Vec<u64> = (0..200).map(|i| (i * 37) % 200).collect();
+        let oracle = PlainOracle::single_column(values.clone());
+        let sched = SessionScheduler::new(engine_with(&oracle, 1));
+
+        let inline_oracle = PlainOracle::single_column(values);
+        let mut inline = engine_with(&inline_oracle, 1);
+
+        for (i, bound) in [120u64, 40, 90, 40].into_iter().enumerate() {
+            let pred = Predicate::cmp(0, ComparisonOp::Lt, bound);
+            let session = SessionOracle::new(&oracle);
+            let (sel, seq) = sched
+                .with_detached(&[0], |sub| {
+                    sub.try_select(&session, &pred, &mut StdRng::seed_from_u64(7))
+                })
+                .expect("select");
+            assert_eq!(seq, i as u64 + 1, "dense commit sequence");
+            let expected = inline
+                .try_select(&inline_oracle, &pred, &mut StdRng::seed_from_u64(7))
+                .expect("inline select");
+            assert_eq!(sel.sorted(), expected.sorted());
+            assert_eq!(sel.stats.qpf_uses, expected.stats.qpf_uses);
+        }
+        sched.inspect(|engine| {
+            engine
+                .knowledge(0)
+                .expect("attr 0")
+                .validate()
+                .expect("valid knowledge");
+        });
+    }
+
+    #[test]
+    fn unknown_attr_leaves_engine_usable() {
+        let oracle = PlainOracle::single_column((0..50).collect());
+        let sched = SessionScheduler::new(engine_with(&oracle, 1));
+        let pred = Predicate::cmp(9, ComparisonOp::Lt, 5);
+        let err = sched
+            .with_detached(&[9], |sub| {
+                sub.try_select(&oracle, &pred, &mut StdRng::seed_from_u64(1))
+            })
+            .expect_err("attr 9 unknown");
+        assert!(matches!(
+            err,
+            ServeError::Query(QueryError::AttrNotInitialized(9))
+        ));
+        // Attribute 0 must still be attached and queryable.
+        let pred = Predicate::cmp(0, ComparisonOp::Lt, 25);
+        let (sel, _) = sched
+            .with_detached(&[0], |sub| {
+                sub.try_select(&oracle, &pred, &mut StdRng::seed_from_u64(1))
+            })
+            .expect("attr 0 still live");
+        assert_eq!(sel.tuples.len(), 25);
+    }
+
+    #[test]
+    fn concurrent_disjoint_queries_overlap_and_serialize_per_attr() {
+        let columns: Vec<Vec<u64>> = vec![
+            (0..300).map(|i| (i * 13) % 300).collect(),
+            (0..300).map(|i| (i * 29) % 300).collect(),
+        ];
+        let oracle = Arc::new(PlainOracle::from_columns(columns));
+        let sched = Arc::new(SessionScheduler::new(engine_with(&oracle, 2)));
+
+        let mut handles = Vec::new();
+        for worker in 0..4u32 {
+            let oracle = Arc::clone(&oracle);
+            let sched = Arc::clone(&sched);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..10u64 {
+                    let attr = worker % 2;
+                    let bound = (worker as u64 * 57 + round * 31) % 300;
+                    let pred = Predicate::cmp(attr, ComparisonOp::Lt, bound);
+                    let session = SessionOracle::new(&*oracle);
+                    let (sel, _seq) = sched
+                        .with_detached(&[attr], |sub| {
+                            sub.try_select(&session, &pred, &mut StdRng::seed_from_u64(round))
+                        })
+                        .expect("select");
+                    assert_eq!(sel.tuples.len(), bound as usize);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let engine = match Arc::try_unwrap(sched) {
+            Ok(s) => s.into_engine(),
+            Err(_) => panic!("all workers joined"),
+        };
+        for attr in 0..2 {
+            engine
+                .knowledge(attr)
+                .expect("attr")
+                .validate()
+                .expect("valid after concurrency");
+        }
+    }
+}

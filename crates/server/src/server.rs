@@ -1,0 +1,317 @@
+//! The TCP server: accept loop, bounded worker pool, graceful shutdown.
+//!
+//! One thread runs the accept loop; a fixed pool of workers (capped by
+//! [`ServerConfig::threads`] / `PRKB_SERVER_THREADS`) pulls accepted
+//! sockets off a bounded channel and serves each to completion
+//! ([`crate::conn`]). Shutdown — requested over the wire or via
+//! [`ServerHandle::shutdown`] — is graceful: the flag flips, the accept
+//! loop is poked awake and stops accepting, every worker finishes its
+//! in-flight request (commits included) before closing its connection, and
+//! [`PrkbServer::run`] returns only after the pool has drained. Committed
+//! refinements are never lost to shutdown; queued-but-unserved connections
+//! are simply closed.
+
+use crate::conn::{self, Shared};
+use crate::scheduler::{Backend, DurableSlot, SessionScheduler};
+use crate::wire::DEFAULT_MAX_FRAME_LEN;
+use prkb_core::snapshot::WireCodec;
+use prkb_core::{DurableEngine, PrkbEngine, SpPredicate};
+use prkb_edbms::SelectionOracle;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Environment variable consulted when [`ServerConfig::threads`] is `None`.
+pub const THREADS_ENV: &str = "PRKB_SERVER_THREADS";
+
+/// Worker-pool size used when neither the config nor the environment says
+/// otherwise.
+pub const DEFAULT_THREADS: usize = 4;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool size. `None` defers to `PRKB_SERVER_THREADS`, then
+    /// [`DEFAULT_THREADS`]. Clamped to at least 1.
+    pub threads: Option<usize>,
+    /// Frame payload cap (larger frames are a protocol error).
+    pub max_frame_len: u32,
+    /// Socket read timeout: how often an idle worker re-checks the
+    /// shutdown flag and its idle deadline.
+    pub poll_tick: Duration,
+    /// Connections idle longer than this are closed.
+    pub idle_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: None,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            poll_tick: Duration::from_millis(50),
+            idle_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolve_threads(&self) -> usize {
+        self.threads
+            .or_else(|| {
+                std::env::var(THREADS_ENV)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(DEFAULT_THREADS)
+            .max(1)
+    }
+}
+
+/// Totals reported once a server has fully drained, plus access to the
+/// backend — handed back so a caller can validate the knowledge the served
+/// queries built up.
+pub struct ServerReport<P: SpPredicate + WireCodec, O> {
+    shared: Arc<Shared<P, O>>,
+}
+
+impl<P: SpPredicate + WireCodec, O> ServerReport<P, O> {
+    /// Frames served (malformed ones included — they got error responses).
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stream-fatal framing failures.
+    pub fn frame_errors(&self) -> u64 {
+        self.shared.frame_errors.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes in + out.
+    pub fn bytes(&self) -> u64 {
+        self.shared.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Read access to the drained engine (validation, snapshotting).
+    pub fn inspect<T>(&self, f: impl FnOnce(&prkb_core::PrkbEngine<P>) -> T) -> T {
+        self.shared.backend.inspect(f)
+    }
+}
+
+/// A bound-but-not-yet-running PRKB service.
+pub struct PrkbServer<P: SpPredicate + WireCodec, O> {
+    listener: TcpListener,
+    shared: Arc<Shared<P, O>>,
+    threads: usize,
+}
+
+impl<P, O> PrkbServer<P, O>
+where
+    P: SpPredicate + WireCodec + Send + 'static,
+    O: SelectionOracle<Pred = P> + Send + Sync + 'static,
+{
+    /// Binds `addr` and fronts an in-memory engine with the concurrent
+    /// session scheduler.
+    ///
+    /// # Errors
+    /// Socket bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: PrkbEngine<P>,
+        oracle: O,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::bind_backend(
+            addr,
+            Backend::Shared(SessionScheduler::new(engine)),
+            oracle,
+            config,
+        )
+    }
+
+    /// Binds `addr` and fronts a [`DurableEngine`]: every commit hits the
+    /// write-ahead log, requests are serialized end to end.
+    ///
+    /// # Errors
+    /// Socket bind failure.
+    pub fn bind_durable(
+        addr: impl ToSocketAddrs,
+        engine: DurableEngine<P>,
+        oracle: O,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::bind_backend(
+            addr,
+            Backend::Durable(Mutex::new(DurableSlot { engine, seq: 0 })),
+            oracle,
+            config,
+        )
+    }
+
+    fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Backend<P>,
+        oracle: O,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let wake_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            backend,
+            oracle: Arc::new(RwLock::new(oracle)),
+            shutdown: AtomicBool::new(false),
+            max_frame_len: config.max_frame_len,
+            poll_tick: config.poll_tick,
+            idle_deadline: config.idle_deadline,
+            requests: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            frame_errors: AtomicU64::new(0),
+            wake_addr,
+        });
+        Ok(PrkbServer {
+            listener,
+            shared,
+            threads: config.resolve_threads(),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    /// Propagated from the socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Handle on the shared oracle, for uploading rows out of band (the
+    /// owner→SP data path; the wire protocol only ever carries tuple ids).
+    pub fn oracle(&self) -> Arc<RwLock<O>> {
+        Arc::clone(&self.shared.oracle)
+    }
+
+    /// Runs the accept loop on the current thread until shutdown, then
+    /// drains the worker pool and reports.
+    ///
+    /// # Errors
+    /// Unrecoverable listener failure.
+    ///
+    /// # Panics
+    /// Panics if a worker thread panicked (a bug — workers contain every
+    /// per-connection failure).
+    pub fn run(self) -> io::Result<ServerReport<P, O>> {
+        let PrkbServer {
+            listener,
+            shared,
+            threads,
+        } = self;
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(threads * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("prkb-server-worker-{i}"))
+                    .spawn(move || loop {
+                        let next = {
+                            let rx = match rx.lock() {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            rx.recv()
+                        };
+                        match next {
+                            Ok(stream) => conn::serve(&shared, stream),
+                            Err(_) => return, // channel closed and drained
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    // Re-check after the (possibly long) block in accept:
+                    // the wake poke itself must not be served.
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if tx.send(s).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failure (resource pressure): keep
+                    // serving; the listener itself is still alive.
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        drop(tx);
+        drop(listener);
+        for w in workers {
+            w.join().expect("worker thread panicked");
+        }
+
+        Ok(ServerReport { shared })
+    }
+
+    /// Spawns [`run`](Self::run) on its own thread and returns a handle for
+    /// out-of-band shutdown.
+    ///
+    /// # Errors
+    /// Propagated from resolving the local address.
+    pub fn spawn(self) -> io::Result<ServerHandle<P, O>> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let join = thread::Builder::new()
+            .name("prkb-server-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn accept thread");
+        Ok(ServerHandle { addr, shared, join })
+    }
+}
+
+/// Handle on a running server (see [`PrkbServer::spawn`]).
+pub struct ServerHandle<P: SpPredicate + WireCodec, O> {
+    addr: SocketAddr,
+    shared: Arc<Shared<P, O>>,
+    join: JoinHandle<io::Result<ServerReport<P, O>>>,
+}
+
+impl<P: SpPredicate + WireCodec, O> ServerHandle<P, O> {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Handle on the shared oracle (see [`PrkbServer::oracle`]).
+    pub fn oracle(&self) -> Arc<RwLock<O>> {
+        Arc::clone(&self.shared.oracle)
+    }
+
+    /// Triggers graceful shutdown without a wire request.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Waits for the server to drain and returns its report.
+    ///
+    /// # Errors
+    /// Propagated from [`PrkbServer::run`].
+    ///
+    /// # Panics
+    /// Panics if the accept thread panicked.
+    pub fn join(self) -> io::Result<ServerReport<P, O>> {
+        let ServerHandle { join, shared, .. } = self;
+        drop(shared);
+        join.join().expect("accept thread panicked")
+    }
+}

@@ -1,0 +1,333 @@
+//! `prkb-wire/v1` framing: length-prefixed, CRC32-guarded binary frames.
+//!
+//! The frame layout reuses the discipline proven by the durability layer's
+//! write-ahead log ([`prkb_edbms::durability`]): every frame is
+//!
+//! ```text
+//! len: u32 LE | crc: u32 LE | payload (len bytes)
+//! ```
+//!
+//! where `crc` is CRC32 (IEEE, reflected — [`crc32`]) over `len || payload`,
+//! so a damaged length field cannot silently misframe the stream. Unlike the
+//! WAL there is no file header: a TCP connection is a fresh stream and every
+//! frame is self-describing. Protocol versioning lives one layer up, in the
+//! first payload byte (see [`crate::proto`]).
+//!
+//! Decoding is incremental and allocation-bounded: [`decode_frame`] works on
+//! whatever bytes have arrived so far, answers "need more" without consuming
+//! anything, and rejects a length field above the configured cap *before*
+//! allocating — a lying length is a protocol error, not a 4 GiB allocation
+//! request (mirroring `MAX_RECORD_LEN` in the WAL).
+
+use prkb_edbms::durability::crc32;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Bytes of framing overhead per frame (length + checksum).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Default cap on a single frame's payload (1 MiB). Configurable per server
+/// via [`crate::ServerConfig::max_frame_len`].
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length field exceeds the configured cap. Unrecoverable for the
+    /// stream: the decoder cannot know where the next frame starts.
+    TooLarge {
+        /// The claimed payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The checksum failed: the frame (or its length field) is damaged.
+    /// Unrecoverable for the stream.
+    BadCrc,
+    /// The peer closed the stream in the middle of a frame.
+    Truncated,
+    /// An I/O failure on the underlying stream.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::BadCrc => write!(f, "frame checksum mismatch"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Io(e) => write!(f, "frame I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes one frame around `payload`.
+///
+/// # Panics
+/// Panics if `payload` exceeds `u32::MAX` bytes (callers cap far below).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("payload length fits u32");
+    let len_le = len.to_le_bytes();
+    let mut covered = Vec::with_capacity(4 + payload.len());
+    covered.extend_from_slice(&len_le);
+    covered.extend_from_slice(payload);
+    let crc = crc32(&covered).to_le_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&len_le);
+    frame.extend_from_slice(&crc);
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Attempts to decode one frame from the front of `bytes`.
+///
+/// Returns `Ok(None)` when the buffer holds only a prefix of a frame (read
+/// more and retry), or `Ok(Some((payload, consumed)))` on success.
+///
+/// # Errors
+/// [`FrameError::TooLarge`] and [`FrameError::BadCrc`] are stream-fatal:
+/// framing is lost and the connection must be closed.
+pub fn decode_frame(bytes: &[u8], max_len: u32) -> Result<Option<(Vec<u8>, usize)>, FrameError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let total = FRAME_HEADER_LEN + len as usize;
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let mut covered = Vec::with_capacity(4 + len as usize);
+    covered.extend_from_slice(&bytes[..4]);
+    covered.extend_from_slice(&bytes[FRAME_HEADER_LEN..total]);
+    if crc32(&covered) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    Ok(Some((bytes[FRAME_HEADER_LEN..total].to_vec(), total)))
+}
+
+/// Writes one frame to a blocking stream.
+///
+/// # Errors
+/// Propagates the underlying I/O failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let frame = encode_frame(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Incremental frame reader over a blocking (possibly read-timeout-armed)
+/// stream: buffers partial frames across poll ticks so a slow sender and a
+/// periodic shutdown check coexist.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+/// One step of [`FrameReader::poll`].
+#[derive(Debug)]
+pub enum ReadStep {
+    /// A complete frame; `bytes_consumed` includes the 8-byte header.
+    Frame {
+        /// The frame payload.
+        payload: Vec<u8>,
+        /// Wire bytes this frame occupied (header included).
+        bytes_consumed: usize,
+    },
+    /// The read timed out with **no** partial frame buffered (idle tick —
+    /// check deadlines/shutdown and poll again).
+    Idle,
+    /// The read timed out mid-frame (slow or stalled sender — check the
+    /// connection deadline and poll again).
+    Stalled,
+    /// The peer closed the stream at a clean frame boundary.
+    Closed,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Reads until one of: a full frame, a timeout tick, EOF, or an error.
+    ///
+    /// # Errors
+    /// Stream-fatal framing damage ([`FrameError::BadCrc`],
+    /// [`FrameError::TooLarge`]), EOF mid-frame ([`FrameError::Truncated`]),
+    /// or I/O failure.
+    pub fn poll<R: Read>(&mut self, r: &mut R, max_len: u32) -> Result<ReadStep, FrameError> {
+        loop {
+            if let Some((payload, consumed)) = decode_frame(&self.buf, max_len)? {
+                self.buf.drain(..consumed);
+                return Ok(ReadStep::Frame {
+                    payload,
+                    bytes_consumed: consumed,
+                });
+            }
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(ReadStep::Closed)
+                    } else {
+                        Err(FrameError::Truncated)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(if self.buf.is_empty() {
+                        ReadStep::Idle
+                    } else {
+                        ReadStep::Stalled
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let frame = encode_frame(b"hello wire");
+        let (payload, consumed) = decode_frame(&frame, DEFAULT_MAX_FRAME_LEN)
+            .expect("ok")
+            .expect("complete");
+        assert_eq!(payload, b"hello wire");
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let frame = encode_frame(b"");
+        let (payload, consumed) = decode_frame(&frame, DEFAULT_MAX_FRAME_LEN)
+            .expect("ok")
+            .expect("complete");
+        assert!(payload.is_empty());
+        assert_eq!(consumed, FRAME_HEADER_LEN);
+    }
+
+    #[test]
+    fn prefix_needs_more() {
+        let frame = encode_frame(b"0123456789");
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut], DEFAULT_MAX_FRAME_LEN)
+                    .expect("prefix is not an error")
+                    .is_none(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_fails_crc() {
+        let frame = encode_frame(b"sensitive");
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            match decode_frame(&bad, DEFAULT_MAX_FRAME_LEN) {
+                Err(FrameError::BadCrc) | Err(FrameError::TooLarge { .. }) | Ok(None) => {}
+                other => panic!("flip at {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = encode_frame(b"x");
+        frame[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame, DEFAULT_MAX_FRAME_LEN),
+            Err(FrameError::TooLarge { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_consume_exactly() {
+        let mut stream = encode_frame(b"first");
+        stream.extend_from_slice(&encode_frame(b"second"));
+        let (p1, c1) = decode_frame(&stream, DEFAULT_MAX_FRAME_LEN)
+            .expect("ok")
+            .expect("complete");
+        assert_eq!(p1, b"first");
+        let (p2, _) = decode_frame(&stream[c1..], DEFAULT_MAX_FRAME_LEN)
+            .expect("ok")
+            .expect("complete");
+        assert_eq!(p2, b"second");
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let mut stream = encode_frame(b"alpha");
+        stream.extend_from_slice(&encode_frame(b"beta"));
+        // Feed the reader one byte at a time via a cursor chunked reader.
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut r = OneByte(&stream, 0);
+        let mut reader = FrameReader::new();
+        let mut seen = Vec::new();
+        loop {
+            match reader.poll(&mut r, DEFAULT_MAX_FRAME_LEN).expect("ok") {
+                ReadStep::Frame { payload, .. } => seen.push(payload),
+                ReadStep::Closed => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated() {
+        let frame = encode_frame(b"doomed");
+        let cut = &frame[..frame.len() - 2];
+        let mut reader = FrameReader::new();
+        let mut r = io::Cursor::new(cut.to_vec());
+        let err = loop {
+            match reader.poll(&mut r, DEFAULT_MAX_FRAME_LEN) {
+                Ok(ReadStep::Frame { .. }) => panic!("frame cannot complete"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, FrameError::Truncated));
+    }
+}

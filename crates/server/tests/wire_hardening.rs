@@ -1,0 +1,215 @@
+//! Wire-decode hardening: hostile bytes must never panic the server.
+//!
+//! Property layer: `decode_frame` and the payload decoders are total
+//! functions over arbitrary bytes — truncated frames, bit-flipped frames,
+//! length-lying frames, and oversized frames all land in clean protocol
+//! errors (or "need more"), never in a panic or an absurd allocation.
+//!
+//! Live layer: a real server fed the same garbage answers with a framed
+//! error (best effort) and keeps serving other clients; a malformed payload
+//! inside a *valid* frame costs only that one request, not the connection.
+
+use prkb_core::{EngineConfig, PrkbEngine};
+use prkb_edbms::testing::PlainOracle;
+use prkb_edbms::{ComparisonOp, Predicate};
+use prkb_server::proto::{code, Request, Response};
+use prkb_server::wire::{decode_frame, encode_frame, DEFAULT_MAX_FRAME_LEN};
+use prkb_server::{PrkbClient, PrkbServer, ServerConfig};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Decoders are total over arbitrary bytes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn random_bytes_never_panic_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Frame decoder: any result is fine, panicking is not.
+        let _ = decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN);
+        // Payload decoders likewise.
+        let _ = Request::<Predicate>::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    fn corrupted_valid_frames_fail_cleanly(
+        seed in any::<u64>(),
+        flip_at in any::<usize>(),
+        flip_mask in 1u8..=255,
+    ) {
+        // Build a genuine request frame, then flip one byte anywhere.
+        let pred = Predicate::cmp((seed % 3) as u32, ComparisonOp::Lt, seed % 1000);
+        let frame = encode_frame(&Request::Select { seed, pred }.encode());
+        let mut bad = frame.clone();
+        let at = flip_at % bad.len();
+        bad[at] ^= flip_mask;
+        match decode_frame(&bad, DEFAULT_MAX_FRAME_LEN) {
+            // CRC covers length and payload: any single corruption is either
+            // caught, classified oversized, or leaves the frame incomplete.
+            Err(_) | Ok(None) => {}
+            Ok(Some((payload, _))) => {
+                // A flip the CRC cannot see does not exist; reaching here
+                // means the frame was *re*-flipped back to valid.
+                prop_assert_eq!(payload, Request::Select {
+                    seed,
+                    pred: Predicate::cmp((seed % 3) as u32, ComparisonOp::Lt, seed % 1000),
+                }.encode());
+            }
+        }
+    }
+
+    fn truncations_never_decode(cut_seed in any::<u64>()) {
+        let pred = Predicate::between(1, cut_seed % 50, cut_seed % 50 + 10);
+        let frame = encode_frame(&Request::Between { seed: cut_seed, pred }.encode());
+        let cut = (cut_seed as usize) % frame.len();
+        // Every strict prefix is "need more", never a panic or a bogus frame.
+        prop_assert!(decode_frame(&frame[..cut], DEFAULT_MAX_FRAME_LEN)
+            .map(|o| o.is_none())
+            .unwrap_or(true));
+    }
+
+    fn lying_length_fields_are_contained(claimed in any::<u32>()) {
+        // A frame whose length field lies (with a matching CRC, so framing
+        // itself is consistent) must either wait for more bytes or be
+        // rejected by the cap — never allocate `claimed` bytes of payload.
+        let mut frame = encode_frame(b"tiny");
+        frame[..4].copy_from_slice(&claimed.to_le_bytes());
+        match decode_frame(&frame, DEFAULT_MAX_FRAME_LEN) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((payload, _))) => prop_assert!(payload.len() <= frame.len()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A live server survives all of it
+// ---------------------------------------------------------------------------
+
+fn start_server() -> (
+    std::net::SocketAddr,
+    prkb_server::ServerHandle<Predicate, PlainOracle>,
+) {
+    let oracle = PlainOracle::single_column((0..100).collect());
+    let mut engine: PrkbEngine<Predicate> = PrkbEngine::new(EngineConfig::default());
+    engine.init_attr(0, 100);
+    let server =
+        PrkbServer::bind("127.0.0.1:0", engine, oracle, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.spawn().expect("spawn");
+    (addr, handle)
+}
+
+/// Reads whatever the server sends until it closes the stream.
+fn drain(stream: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 1024];
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[test]
+fn garbage_streams_get_error_frames_and_server_survives() {
+    let (addr, handle) = start_server();
+
+    // 1. Pure garbage: framing is unrecoverable, the server answers with a
+    //    best-effort FRAME error and closes.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&[0xAB; 64]).expect("write garbage");
+    let answer = drain(&mut raw);
+    if let Ok(Some((payload, _))) = decode_frame(&answer, DEFAULT_MAX_FRAME_LEN) {
+        match Response::decode(&payload).expect("server frames are valid") {
+            Response::Error { code: c, .. } => assert_eq!(c, code::FRAME),
+            other => panic!("expected FRAME error, got {other:?}"),
+        }
+    }
+    drop(raw);
+
+    // 2. A length field lying far beyond the cap: rejected before any
+    //    allocation, connection closed.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    let mut huge = encode_frame(b"x");
+    huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    raw.write_all(&huge).expect("write oversized");
+    drain(&mut raw);
+    drop(raw);
+
+    // 3. Bit-flipped but otherwise valid frame: CRC catches it.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    let mut frame = encode_frame(&Request::<Predicate>::Ping.encode());
+    let last = frame.len() - 1;
+    frame[last] ^= 0x40;
+    raw.write_all(&frame).expect("write flipped");
+    drain(&mut raw);
+    drop(raw);
+
+    // 4. Well-framed garbage payload: costs one request, not the
+    //    connection — the same socket then serves a healthy query.
+    let mut client: PrkbClient<Predicate> = PrkbClient::connect(addr).expect("connect");
+    {
+        // Reach under the client: send a valid frame with junk inside.
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&encode_frame(&[0xFF, 0xFF, 0x01, 0x02]))
+            .expect("write junk payload");
+        let mut reader = prkb_server::FrameReader::new();
+        raw.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let payload = loop {
+            match reader
+                .poll(&mut raw, DEFAULT_MAX_FRAME_LEN)
+                .expect("framed answer")
+            {
+                prkb_server::wire::ReadStep::Frame { payload, .. } => break payload,
+                prkb_server::wire::ReadStep::Closed => panic!("closed instead of answering"),
+                _ => continue,
+            }
+        };
+        match Response::decode(&payload).expect("decode") {
+            Response::Error { code: c, .. } => assert_eq!(c, code::UNSUPPORTED_VERSION),
+            other => panic!("expected version error, got {other:?}"),
+        }
+        // Same socket, now a valid ping: the connection survived.
+        raw.write_all(&encode_frame(&Request::<Predicate>::Ping.encode()))
+            .expect("write ping");
+        let payload = loop {
+            match reader
+                .poll(&mut raw, DEFAULT_MAX_FRAME_LEN)
+                .expect("framed answer")
+            {
+                prkb_server::wire::ReadStep::Frame { payload, .. } => break payload,
+                prkb_server::wire::ReadStep::Closed => panic!("connection should be alive"),
+                _ => continue,
+            }
+        };
+        assert!(matches!(
+            Response::decode(&payload).expect("decode"),
+            Response::Ok
+        ));
+    }
+
+    // The server is still healthy end to end.
+    client.ping().expect("server alive after hostile clients");
+    let reply = client
+        .select(1, Predicate::cmp(0, ComparisonOp::Lt, 30))
+        .expect("healthy query");
+    assert_eq!(reply.tuples.len(), 30);
+
+    client.shutdown().expect("shutdown");
+    let report = handle.join().expect("join");
+    assert!(
+        report.frame_errors() >= 3,
+        "framing damage was counted ({} events)",
+        report.frame_errors()
+    );
+}

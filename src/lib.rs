@@ -10,6 +10,8 @@
 //! * [`edbms`] — the QPF-model encrypted DBMS substrate;
 //! * [`crypto`] — from-scratch primitives (ChaCha20, SHA-256, HMAC, HKDF,
 //!   SipHash) validated against published vectors;
+//! * [`server`] — the networked service-provider front end (`prkb-wire/v1`
+//!   framed TCP protocol, concurrent session scheduler, loopback client);
 //! * [`srci`] — the Logarithmic-SRC-i competitor on an SSE substrate;
 //! * [`datagen`] — synthetic + simulated-real datasets and workloads;
 //! * [`analysis`] — the §8.1 partial-order-recovery security study.
@@ -29,4 +31,5 @@ pub use prkb_core as core;
 pub use prkb_crypto as crypto;
 pub use prkb_datagen as datagen;
 pub use prkb_edbms as edbms;
+pub use prkb_server as server;
 pub use prkb_srci as srci;
