@@ -12,11 +12,20 @@
 
 use prkb_bench::trajectory::{bench_dir, BenchFile, BenchRow};
 use prkb_bench::{
-    exp_fig11_fig12, exp_fig13, exp_fig8, exp_fig9_fig10, exp_table2, exp_table3, exp_table4, Scale,
+    exp_fig11_fig12, exp_fig13, exp_fig8, exp_fig9_fig10, exp_shard_commit, exp_table2, exp_table3,
+    exp_table4, Scale,
 };
 
-const ALL: [&str; 8] = [
-    "table2", "fig8", "table3", "fig9", "fig10", "fig11", "fig12", "fig13",
+const ALL: [&str; 9] = [
+    "table2",
+    "fig8",
+    "table3",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "shard_commit",
 ];
 
 fn main() {
@@ -42,6 +51,7 @@ fn main() {
             "fig11" => exp_fig11_fig12::run_fig11_bench(scale),
             "fig12" => exp_fig11_fig12::run_fig12_bench(scale),
             "fig13" => exp_fig13::run_bench(scale),
+            "shard_commit" => exp_shard_commit::run_bench(scale),
             "table4" => (exp_table4::run(scale), Vec::new()),
             other => {
                 eprintln!("unknown experiment {other:?}; known: {ALL:?} + table4 | all");

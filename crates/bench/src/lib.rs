@@ -18,6 +18,7 @@ pub mod exp_fig11_fig12;
 pub mod exp_fig13;
 pub mod exp_fig8;
 pub mod exp_fig9_fig10;
+pub mod exp_shard_commit;
 pub mod exp_table2;
 pub mod exp_table3;
 pub mod exp_table4;

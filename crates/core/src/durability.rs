@@ -31,7 +31,9 @@
 
 use crate::engine::{EngineConfig, PrkbEngine, QueryError};
 use crate::knowledge::{Knowledge, RefinementOp, Separator};
+use crate::metrics::Metric;
 use crate::selection::Selection;
+use crate::shard::ShardMap;
 use crate::snapshot::{self, SnapshotError, WireCodec};
 use crate::traits::SpPredicate;
 use prkb_edbms::durability::{
@@ -40,7 +42,10 @@ use prkb_edbms::durability::{
 use prkb_edbms::{AttrId, SelectionOracle, TupleId};
 use rand::Rng;
 use std::fmt;
+use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Checkpoint file name inside the engine directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
@@ -63,6 +68,9 @@ pub enum DurableError {
     /// A CRC-valid WAL record failed to decode or to replay cleanly —
     /// corruption that slipped past framing; the engine refuses to open.
     CorruptWal(&'static str),
+    /// The sharded-pool manifest is damaged. Like checkpoints it is
+    /// written atomically, so damage here is real corruption.
+    CorruptManifest(&'static str),
     /// A previous durability failure left the in-memory state possibly
     /// ahead of the disk; this handle refuses further work. Reopen from
     /// disk ([`DurableEngine::open`]) to resume from the durable state.
@@ -76,6 +84,7 @@ impl fmt::Display for DurableError {
             DurableError::Query(e) => write!(f, "{e}"),
             DurableError::CorruptCheckpoint(what) => write!(f, "corrupt checkpoint: {what}"),
             DurableError::CorruptWal(what) => write!(f, "corrupt WAL record: {what}"),
+            DurableError::CorruptManifest(what) => write!(f, "corrupt shard manifest: {what}"),
             DurableError::Poisoned => write!(
                 f,
                 "engine poisoned by an earlier durability failure; reopen from disk"
@@ -444,6 +453,103 @@ fn wal_name(epoch: u64) -> String {
     format!("wal.{epoch}.log")
 }
 
+/// Result of [`recover_dir`]: the rebuilt engine, the live WAL, and what
+/// recovery found on disk.
+struct RecoveredDir<P> {
+    engine: PrkbEngine<P>,
+    wal: Wal,
+    report: RecoveryReport,
+}
+
+/// The shared recovery routine: load the checkpoint (if any), open or
+/// create the matching epoch's WAL, replay its committed transactions,
+/// validate every attribute, and drop stale-epoch logs. Used by both the
+/// coarse [`DurableEngine`] and each shard of a [`ShardedDurablePool`].
+fn recover_dir<P: SpPredicate + WireCodec>(
+    dir: &Path,
+    config: EngineConfig,
+    crash: &CrashInjector,
+) -> Result<RecoveredDir<P>, DurableError> {
+    std::fs::create_dir_all(dir).map_err(DurabilityError::Io)?;
+    // A leftover temp file is a checkpoint that never completed; the
+    // rename never happened, so it is dead weight.
+    let _ = std::fs::remove_file(dir.join(format!("{CHECKPOINT_FILE}.tmp")));
+
+    let mut engine = PrkbEngine::new(config);
+    let ckpt_path = dir.join(CHECKPOINT_FILE);
+    let mut epoch = 0u64;
+    let mut checkpoint_loaded = false;
+    if ckpt_path.exists() {
+        let bytes = std::fs::read(&ckpt_path).map_err(DurabilityError::Io)?;
+        let (e, kbs) = decode_checkpoint::<P>(&bytes)?;
+        epoch = e;
+        for (attr, kb) in kbs {
+            engine.restore_attr(attr, kb);
+        }
+        checkpoint_loaded = true;
+    }
+
+    let wal_path = dir.join(wal_name(epoch));
+    let (wal, payloads, tail) = if wal_path.exists() {
+        Wal::open(&wal_path, crash.clone())?
+    } else {
+        (
+            Wal::create(&wal_path, crash.clone())?,
+            Vec::new(),
+            TailStatus::Clean,
+        )
+    };
+    let records_replayed = payloads.len() as u64;
+    for payload in payloads {
+        for entry in decode_txn::<P>(&payload)? {
+            match entry {
+                TxnEntry::Init { attr, n } => engine.init_attr(attr, n as usize),
+                TxnEntry::Op { attr, op } => engine
+                    .knowledge_mut(attr)
+                    .ok_or(DurableError::CorruptWal("op for unknown attribute"))?
+                    .apply_op(op),
+            }
+        }
+    }
+    for attr in engine.attrs().collect::<Vec<_>>() {
+        engine
+            .knowledge(attr)
+            .expect("attr enumerated above")
+            .validate()
+            .map_err(|_| DurableError::CorruptWal("replayed state fails validation"))?;
+    }
+
+    // Stale epochs (left by a crash inside checkpoint rotation) are
+    // subsumed by the checkpoint; drop them.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(e) = name
+                .strip_prefix("wal.")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                if e != epoch {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+
+    engine.set_recording(true);
+    Ok(RecoveredDir {
+        engine,
+        wal,
+        report: RecoveryReport {
+            checkpoint_loaded,
+            records_replayed,
+            tail,
+            epoch,
+        },
+    })
+}
+
 /// A [`PrkbEngine`] whose every committed mutation is made durable before
 /// the covering result is returned, and which recovers that state on
 /// [`open`](Self::open).
@@ -484,89 +590,18 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
         config: EngineConfig,
         crash: CrashInjector,
     ) -> Result<(Self, RecoveryReport), DurableError> {
-        std::fs::create_dir_all(dir).map_err(DurabilityError::Io)?;
-        // A leftover temp file is a checkpoint that never completed; the
-        // rename never happened, so it is dead weight.
-        let _ = std::fs::remove_file(dir.join(format!("{CHECKPOINT_FILE}.tmp")));
-
-        let mut engine = PrkbEngine::new(config);
-        let ckpt_path = dir.join(CHECKPOINT_FILE);
-        let mut epoch = 0u64;
-        let mut checkpoint_loaded = false;
-        if ckpt_path.exists() {
-            let bytes = std::fs::read(&ckpt_path).map_err(DurabilityError::Io)?;
-            let (e, kbs) = decode_checkpoint::<P>(&bytes)?;
-            epoch = e;
-            for (attr, kb) in kbs {
-                engine.restore_attr(attr, kb);
-            }
-            checkpoint_loaded = true;
-        }
-
-        let wal_path = dir.join(wal_name(epoch));
-        let (wal, payloads, tail) = if wal_path.exists() {
-            Wal::open(&wal_path, crash.clone())?
-        } else {
-            (
-                Wal::create(&wal_path, crash.clone())?,
-                Vec::new(),
-                TailStatus::Clean,
-            )
-        };
-        let records_replayed = payloads.len() as u64;
-        for payload in payloads {
-            for entry in decode_txn::<P>(&payload)? {
-                match entry {
-                    TxnEntry::Init { attr, n } => engine.init_attr(attr, n as usize),
-                    TxnEntry::Op { attr, op } => engine
-                        .knowledge_mut(attr)
-                        .ok_or(DurableError::CorruptWal("op for unknown attribute"))?
-                        .apply_op(op),
-                }
-            }
-        }
-        for attr in engine.attrs().collect::<Vec<_>>() {
-            engine
-                .knowledge(attr)
-                .expect("attr enumerated above")
-                .validate()
-                .map_err(|_| DurableError::CorruptWal("replayed state fails validation"))?;
-        }
-
-        // Stale epochs (left by a crash inside checkpoint rotation) are
-        // subsumed by the checkpoint; drop them.
-        if let Ok(entries) = std::fs::read_dir(dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let Some(name) = name.to_str() else { continue };
-                if let Some(e) = name
-                    .strip_prefix("wal.")
-                    .and_then(|s| s.strip_suffix(".log"))
-                    .and_then(|s| s.parse::<u64>().ok())
-                {
-                    if e != epoch {
-                        let _ = std::fs::remove_file(entry.path());
-                    }
-                }
-            }
-        }
-
-        engine.set_recording(true);
+        let recovered = recover_dir::<P>(dir, config, &crash)?;
+        let epoch = recovered.report.epoch;
         Ok((
             DurableEngine {
-                engine,
-                wal,
+                engine: recovered.engine,
+                wal: recovered.wal,
                 dir: dir.to_path_buf(),
                 epoch,
                 crash,
                 poisoned: false,
             },
-            RecoveryReport {
-                checkpoint_loaded,
-                records_replayed,
-                tail,
-                epoch,
-            },
+            recovered.report,
         ))
     }
 
@@ -792,5 +827,518 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
         self.check_poison()?;
         self.engine.delete(t);
         self.commit()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded durability: per-shard WALs with group commit
+// ---------------------------------------------------------------------------
+
+/// Manifest file of a [`ShardedDurablePool`] directory.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+/// Manifest magic.
+const MANIFEST_MAGIC: &[u8; 4] = b"PSHD";
+/// Manifest format version.
+const MANIFEST_VERSION: u16 = 1;
+
+/// Ack handle for one record enqueued on a [`ShardCommitter`]: redeem it
+/// with [`ShardCommitter::wait_durable`] before acknowledging the commit
+/// to a client.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitTicket {
+    /// Shard epoch the record was enqueued under.
+    epoch: u64,
+    /// Sequence number within that epoch (1-based).
+    seq: u64,
+}
+
+impl GroupCommitTicket {
+    /// The `(shard_epoch, shard_seq)` commit position this ticket covers.
+    pub fn position(&self) -> (u64, u64) {
+        (self.epoch, self.seq)
+    }
+}
+
+/// Mutable committer state, guarded by [`ShardCommitter::state`].
+///
+/// Invariant: `pending` holds the encoded payloads for exactly the
+/// sequence numbers `durable_seq + in_flight + 1 ..= next_seq - 1` (in
+/// order), where `in_flight` is the size of the batch a leader took out
+/// while `wal` is `None`.
+struct CommitterState {
+    /// The shard's WAL; `None` while a leader has it out for a flush.
+    wal: Option<Wal>,
+    /// Active checkpoint/WAL epoch.
+    epoch: u64,
+    /// Encoded transaction payloads enqueued but not yet appended.
+    pending: Vec<Vec<u8>>,
+    /// Next sequence number to hand out (1-based within the epoch).
+    next_seq: u64,
+    /// Highest sequence number known durable in the current epoch.
+    durable_seq: u64,
+    /// Set after a flush or rotation failure: memory may be ahead of disk.
+    poisoned: bool,
+}
+
+/// A shard-local **group commit** pipeline: callers enqueue encoded WAL
+/// transactions (atomically with the in-memory mutation, under the shard's
+/// engine lock) and then block on [`wait_durable`](Self::wait_durable)
+/// *after* releasing that lock. The first waiter to find the WAL idle
+/// elects itself **leader** immediately, takes the WAL and up to
+/// [`EngineConfig::group_commit_records`] pending payloads out of the
+/// lock, appends them all, and pays **one** fsync for the lot — then wakes
+/// the followers. Batching is self-clocking: commits that arrive while a
+/// flush is in flight accumulate and become the next leader's batch, so a
+/// lone committer pays exactly one fsync with no added latency while a
+/// contended shard amortizes each fsync over every commit that landed
+/// during the previous one. [`EngineConfig::group_commit_max_wait_us`]
+/// bounds how long a follower sleeps between leadership checks when a
+/// flush is in flight (a missed-wakeup guard — followers are normally
+/// notified the moment the leader finishes).
+///
+/// Commit positions are `(shard_epoch, shard_seq)`; a checkpoint rotation
+/// starts a new epoch and resets the sequence, and every record of an older
+/// epoch is durable by construction (the checkpoint serialized its effect).
+#[derive(Debug)]
+pub struct ShardCommitter<P> {
+    state: Mutex<CommitterState>,
+    cv: Condvar,
+    crash: CrashInjector,
+    dir: PathBuf,
+    group_records: u64,
+    max_wait: Duration,
+    _pred: PhantomData<fn() -> P>,
+}
+
+impl fmt::Debug for CommitterState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommitterState")
+            .field("epoch", &self.epoch)
+            .field("pending", &self.pending.len())
+            .field("next_seq", &self.next_seq)
+            .field("durable_seq", &self.durable_seq)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
+    /// Opens (or creates) one shard directory, recovering its engine from
+    /// checkpoint + WAL replay exactly like [`DurableEngine::open`], and
+    /// returns the recovered engine alongside the committer that will make
+    /// its future mutations durable.
+    ///
+    /// # Errors
+    /// As [`DurableEngine::open`].
+    pub fn open(
+        dir: &Path,
+        config: EngineConfig,
+        crash: CrashInjector,
+    ) -> Result<(PrkbEngine<P>, Self, RecoveryReport), DurableError> {
+        let recovered = recover_dir::<P>(dir, config, &crash)?;
+        let durable = recovered.wal.records();
+        let committer = ShardCommitter {
+            state: Mutex::new(CommitterState {
+                wal: Some(recovered.wal),
+                epoch: recovered.report.epoch,
+                pending: Vec::new(),
+                next_seq: durable + 1,
+                durable_seq: durable,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            crash,
+            dir: dir.to_path_buf(),
+            group_records: config.group_commit_records.max(1),
+            max_wait: Duration::from_micros(config.group_commit_max_wait_us),
+            _pred: PhantomData,
+        };
+        Ok((recovered.engine, committer, recovered.report))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CommitterState> {
+        self.state.lock().expect("committer lock poisoned")
+    }
+
+    /// Enqueues one encoded WAL transaction ([`encode_txn`]) for the next
+    /// group flush and returns its ack ticket. Cheap and non-blocking —
+    /// call it while still holding the shard's engine lock so the WAL
+    /// order matches the in-memory commit order, then redeem the ticket
+    /// with [`wait_durable`](Self::wait_durable) after releasing it.
+    pub fn enqueue(&self, payload: Vec<u8>) -> GroupCommitTicket {
+        let mut st = self.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.pending.push(payload);
+        if st.pending.len() as u64 >= self.group_records {
+            // Batch is full: wake any parked waiter to elect a leader now.
+            self.cv.notify_all();
+        }
+        GroupCommitTicket {
+            epoch: st.epoch,
+            seq,
+        }
+    }
+
+    /// Blocks until the ticket's record is fsync-durable and returns its
+    /// `(shard_epoch, shard_seq)` position. The calling thread may be
+    /// elected flush leader and do the I/O itself.
+    ///
+    /// # Errors
+    /// [`DurableError::Poisoned`] if this or an earlier flush failed; the
+    /// in-memory shard may then be ahead of disk and the pool must be
+    /// reopened to resume from the durable prefix.
+    pub fn wait_durable(&self, ticket: GroupCommitTicket) -> Result<(u64, u64), DurableError> {
+        let mut st = self.lock();
+        loop {
+            // A rotation past the ticket's epoch subsumes it: the
+            // checkpoint serialized the record's in-memory effect.
+            if st.epoch > ticket.epoch || st.durable_seq >= ticket.seq {
+                return Ok((ticket.epoch, ticket.seq));
+            }
+            if st.poisoned {
+                return Err(DurableError::Poisoned);
+            }
+            if st.wal.is_some() {
+                // The WAL is idle: lead now. Delaying would add latency
+                // without growing the batch — commits arriving while this
+                // flush runs form the next leader's batch.
+                st = self.lead_flush(st)?;
+                continue;
+            }
+            // A leader is mid-flush; it notifies on completion. The
+            // timeout only guards against a missed wakeup.
+            let wait = self
+                .max_wait
+                .clamp(Duration::from_micros(50), Duration::from_millis(50));
+            st = self
+                .cv
+                .wait_timeout(st, wait)
+                .expect("committer lock poisoned")
+                .0;
+        }
+    }
+
+    /// Takes the WAL and the oldest pending payloads (capped at
+    /// `group_commit_records`) out of the lock, flushes them with a single
+    /// fsync, and re-installs the WAL. Fires
+    /// [`CrashPoint::BeforeGroupFlush`] at the flush boundary.
+    fn lead_flush<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, CommitterState>,
+    ) -> Result<MutexGuard<'a, CommitterState>, DurableError> {
+        let mut wal = st.wal.take().expect("caller checked wal presence");
+        // Cap the batch so one fsync never covers unboundedly many commits
+        // (bounds tail latency and crash-exposure granularity under burst).
+        let take = (self.group_records as usize).min(st.pending.len());
+        let batch: Vec<Vec<u8>> = st.pending.drain(..take).collect();
+        let last = st.durable_seq + batch.len() as u64;
+        drop(st);
+
+        let result = (|| -> Result<(), DurableError> {
+            self.crash.fire(CrashPoint::BeforeGroupFlush)?;
+            let metrics = crate::metrics::global();
+            for payload in &batch {
+                let before = wal.bytes();
+                wal.append_unsynced(payload)?;
+                metrics.record_wal_txn(wal.bytes().saturating_sub(before));
+            }
+            wal.sync()?;
+            metrics.add(Metric::GroupCommitBatches, 1);
+            metrics.add(Metric::GroupCommitRecords, batch.len() as u64);
+            metrics.add(Metric::GroupCommitFsyncs, 1);
+            Ok(())
+        })();
+
+        let mut st = self.lock();
+        match result {
+            Ok(()) => {
+                st.wal = Some(wal);
+                st.durable_seq = last;
+                self.cv.notify_all();
+                Ok(st)
+            }
+            Err(e) => {
+                // The WAL handle is dropped: its file may hold a torn or
+                // unsynced suffix. Recovery discards that suffix and lands
+                // on the committed prefix.
+                st.poisoned = true;
+                self.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Flushes and fsyncs every pending record before returning — the
+    /// graceful-drain barrier: after `flush()` returns `Ok`, every
+    /// enqueued record is durable.
+    ///
+    /// # Errors
+    /// [`DurableError::Poisoned`] if this or an earlier flush failed.
+    pub fn flush(&self) -> Result<(), DurableError> {
+        let mut st = self.lock();
+        loop {
+            if st.poisoned {
+                return Err(DurableError::Poisoned);
+            }
+            match &st.wal {
+                Some(_) if st.pending.is_empty() => return Ok(()),
+                Some(_) => st = self.lead_flush(st)?,
+                None => {
+                    st = self
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(50))
+                        .expect("committer lock poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Whether the checkpoint policy asks for a rotation (counting both
+    /// appended and still-pending records against the thresholds).
+    pub fn wants_checkpoint(&self, config: &EngineConfig) -> bool {
+        let st = self.lock();
+        let Some(wal) = st.wal.as_ref() else {
+            return false;
+        };
+        let records = wal.records() + st.pending.len() as u64;
+        let by_records = config.checkpoint_wal_records;
+        let by_bytes = config.checkpoint_wal_bytes;
+        (by_records > 0 && records >= by_records) || (by_bytes > 0 && wal.bytes() >= by_bytes)
+    }
+
+    /// Rotates the shard's checkpoint: flush pending, snapshot `engine`,
+    /// write it atomically, start a fresh WAL at epoch + 1, retire the old
+    /// log, and reset the sequence. The caller must hold the shard's
+    /// engine lock and guarantee the shard is quiescent, so `engine` is
+    /// exactly the state the flushed WAL produced.
+    ///
+    /// # Errors
+    /// Storage failures poison the committer (disk keeps a consistent
+    /// committed prefix; reopen the pool to resume).
+    pub fn checkpoint(&self, engine: &PrkbEngine<P>) -> Result<(), DurableError> {
+        let mut st = self.lock();
+        loop {
+            if st.poisoned {
+                return Err(DurableError::Poisoned);
+            }
+            match &st.wal {
+                Some(_) if st.pending.is_empty() => break,
+                Some(_) => st = self.lead_flush(st)?,
+                None => {
+                    st = self
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(50))
+                        .expect("committer lock poisoned")
+                        .0;
+                }
+            }
+        }
+
+        let next = st.epoch + 1;
+        let result = (|| -> Result<Wal, DurableError> {
+            let payload = encode_checkpoint(engine, next);
+            write_checkpoint(&self.dir, CHECKPOINT_FILE, &payload, &self.crash)?;
+            let new_wal = Wal::create(&self.dir.join(wal_name(next)), self.crash.clone())?;
+            self.crash.fire(CrashPoint::BeforeWalRetire)?;
+            Ok(new_wal)
+        })();
+        match result {
+            Ok(new_wal) => {
+                let old = st
+                    .wal
+                    .take()
+                    .expect("wal present after flush loop")
+                    .path()
+                    .to_path_buf();
+                st.wal = Some(new_wal);
+                st.epoch = next;
+                st.durable_seq = 0;
+                st.next_seq = 1;
+                let _ = std::fs::remove_file(old);
+                self.cv.notify_all();
+                if let Err(e) = self.crash.fire(CrashPoint::AfterWalRetire) {
+                    st.poisoned = true;
+                    self.cv.notify_all();
+                    return Err(e.into());
+                }
+                crate::metrics::global().add(Metric::Checkpoints, 1);
+                Ok(())
+            }
+            Err(e) => {
+                st.poisoned = true;
+                self.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// The active checkpoint/WAL epoch.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Records appended to the active WAL (pending excluded).
+    pub fn wal_records(&self) -> u64 {
+        self.lock().wal.as_ref().map_or(0, Wal::records)
+    }
+
+    /// Whether an earlier flush or rotation failure poisoned this shard.
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
+}
+
+fn write_manifest(dir: &Path, shards: usize) -> Result<(), DurableError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MANIFEST_MAGIC);
+    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    out.extend_from_slice(&(shards as u32).to_le_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    std::fs::write(&tmp, &out).map_err(DurabilityError::Io)?;
+    std::fs::File::open(&tmp)
+        .and_then(|f| f.sync_all())
+        .map_err(DurabilityError::Io)?;
+    std::fs::rename(&tmp, dir.join(MANIFEST_FILE)).map_err(DurabilityError::Io)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+fn read_manifest(dir: &Path) -> Result<Option<usize>, DurableError> {
+    let path = dir.join(MANIFEST_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = std::fs::read(&path).map_err(DurabilityError::Io)?;
+    if bytes.len() != 14 {
+        return Err(DurableError::CorruptManifest("bad length"));
+    }
+    let (body, crc_bytes) = bytes.split_at(10);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(DurableError::CorruptManifest("checksum mismatch"));
+    }
+    if &body[..4] != MANIFEST_MAGIC {
+        return Err(DurableError::CorruptManifest("bad magic"));
+    }
+    if u16::from_le_bytes(body[4..6].try_into().expect("2 bytes")) != MANIFEST_VERSION {
+        return Err(DurableError::CorruptManifest("unknown version"));
+    }
+    let shards = u32::from_le_bytes(body[6..10].try_into().expect("4 bytes")) as usize;
+    if shards == 0 {
+        return Err(DurableError::CorruptManifest("zero shards"));
+    }
+    Ok(Some(shards))
+}
+
+/// A directory of `shard.<i>/` sub-engines, each with its own checkpoint,
+/// epoch-tagged WAL, and [`ShardCommitter`]. The shard count is pinned by
+/// an atomically-written manifest at creation time: reopening under a
+/// different `PRKB_SHARDS` keeps the persisted partitioning, so every
+/// attribute keeps routing to the WAL that holds its history.
+///
+/// Recovery replays each shard's WAL independently — shard `i`'s recovered
+/// state is a committed prefix of shard `i`'s history regardless of what
+/// any other shard lost.
+#[derive(Debug)]
+pub struct ShardedDurablePool<P> {
+    map: ShardMap,
+    shards: ShardParts<P>,
+    reports: Vec<RecoveryReport>,
+}
+
+/// Per-shard `(engine, committer)` pairs in shard-id order — what
+/// [`ShardedDurablePool::into_parts`] yields and the session scheduler
+/// consumes.
+pub type ShardParts<P> = Vec<(PrkbEngine<P>, ShardCommitter<P>)>;
+
+impl<P: SpPredicate + WireCodec> ShardedDurablePool<P> {
+    /// Opens (or creates) a sharded pool rooted at `dir`. On creation the
+    /// pool is partitioned per `requested`; on reopen the manifest's
+    /// persisted shard count wins. Crash injection is armed from
+    /// `PRKB_CRASH_POINT` (unset ⇒ disabled).
+    ///
+    /// # Errors
+    /// As [`DurableEngine::open`], plus
+    /// [`DurableError::CorruptManifest`].
+    pub fn open(
+        dir: &Path,
+        config: EngineConfig,
+        requested: ShardMap,
+    ) -> Result<Self, DurableError> {
+        Self::open_with_crash(dir, config, requested, CrashInjector::from_env())
+    }
+
+    /// [`open`](Self::open) with an explicit crash-injection schedule.
+    pub fn open_with_crash(
+        dir: &Path,
+        config: EngineConfig,
+        requested: ShardMap,
+        crash: CrashInjector,
+    ) -> Result<Self, DurableError> {
+        std::fs::create_dir_all(dir).map_err(DurabilityError::Io)?;
+        let _ = std::fs::remove_file(dir.join(format!("{MANIFEST_FILE}.tmp")));
+        let map = match read_manifest(dir)? {
+            Some(shards) => ShardMap::new(shards),
+            None => {
+                write_manifest(dir, requested.shards())?;
+                requested
+            }
+        };
+        let mut shards = Vec::with_capacity(map.shards());
+        let mut reports = Vec::with_capacity(map.shards());
+        for i in 0..map.shards() {
+            let (engine, committer, report) =
+                ShardCommitter::open(&dir.join(format!("shard.{i}")), config, crash.clone())?;
+            shards.push((engine, committer));
+            reports.push(report);
+        }
+        Ok(ShardedDurablePool {
+            map,
+            shards,
+            reports,
+        })
+    }
+
+    /// The pool's persisted attribute partitioning.
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Per-shard recovery reports, indexed by shard id.
+    pub fn reports(&self) -> &[RecoveryReport] {
+        &self.reports
+    }
+
+    /// Durable `initPRKB`: initializes the attribute on its owning shard
+    /// and waits for the init record to hit disk.
+    ///
+    /// # Errors
+    /// Storage failures (which poison the owning shard).
+    pub fn init_attr(&mut self, attr: AttrId, n: usize) -> Result<(), DurableError> {
+        let sid = self.map.shard_of(attr);
+        let (engine, committer) = &mut self.shards[sid];
+        engine.init_attr(attr, n);
+        // The fresh knowledge base starts with journaling off; re-arm it.
+        engine.set_recording(true);
+        let ticket = committer.enqueue(encode_txn::<P>(&[TxnEntry::Init { attr, n: n as u64 }]));
+        committer.wait_durable(ticket).map(|_| ())
+    }
+
+    /// Read-only view of one shard's engine (tests and introspection).
+    pub fn shard_engine(&self, shard: usize) -> &PrkbEngine<P> {
+        &self.shards[shard].0
+    }
+
+    /// Splits the pool into its shard map and per-shard
+    /// `(engine, committer)` pairs, in shard-id order — the form the
+    /// session scheduler consumes.
+    pub fn into_parts(self) -> (ShardMap, ShardParts<P>) {
+        (self.map, self.shards)
     }
 }

@@ -77,6 +77,20 @@ pub struct EngineConfig {
     /// Checkpoint rotation policy: rotate once the active write-ahead log
     /// exceeds this many bytes (`0` disables size-based rotation).
     pub checkpoint_wal_bytes: u64,
+    /// Group commit: the most refinement records one fsync covers. A flush
+    /// leader takes at most this many pending payloads per batch, bounding
+    /// tail latency and crash-exposure granularity under burst. Consulted
+    /// only by [`ShardCommitter`](crate::durability::ShardCommitter); the
+    /// coarse [`DurableEngine`](crate::durability::DurableEngine) always
+    /// fsyncs per record. Clamped to at least 1.
+    pub group_commit_records: u64,
+    /// Group commit: how long (in microseconds) a committer parked behind
+    /// an in-flight flush sleeps before re-checking for leadership — a
+    /// missed-wakeup guard, clamped to 50µs..=50ms. Leadership itself is
+    /// immediate: the first waiter to find the WAL idle flushes right away,
+    /// and batches form from commits that arrived during the previous
+    /// flush.
+    pub group_commit_max_wait_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +101,8 @@ impl Default for EngineConfig {
             threads: None,
             checkpoint_wal_records: 4096,
             checkpoint_wal_bytes: 4 << 20,
+            group_commit_records: 32,
+            group_commit_max_wait_us: 200,
         }
     }
 }

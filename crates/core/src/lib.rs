@@ -69,12 +69,16 @@ pub mod qscan;
 pub mod sd;
 pub mod sdplus;
 pub mod selection;
+pub mod shard;
 pub mod skyline;
 pub mod snapshot;
 pub mod traits;
 mod update;
 
-pub use durability::{DurableEngine, DurableError, RecoveryReport};
+pub use durability::{
+    DurableEngine, DurableError, GroupCommitTicket, RecoveryReport, ShardCommitter,
+    ShardedDurablePool,
+};
 pub use engine::{EngineConfig, PrkbEngine, QueryError};
 pub use extremes::{extreme_candidates, top_m_candidates};
 pub use insert::{InsertDecision, InsertOutcome};
@@ -83,6 +87,7 @@ pub use md::{MdDim, MdUpdatePolicy};
 pub use metrics::{Metric, MetricsRegistry, MetricsSnapshot, QueryKind};
 pub use pop::{PartId, Pop};
 pub use selection::{QueryStats, Selection};
+pub use shard::ShardMap;
 pub use skyline::skyline_candidates;
 pub use snapshot::{SnapshotError, WireCodec};
 pub use traits::SpPredicate;

@@ -7,8 +7,14 @@
 //! zero-dependency and cheap: every counter is a relaxed [`AtomicU64`]
 //! increment (~1 ns, no locks, no allocation), so leaving the registry
 //! unread costs nothing measurable. Snapshots ([`MetricsSnapshot`]) render
-//! to a stable, hand-rolled JSON schema (`prkb-metrics/v1`) suitable for
+//! to a stable, hand-rolled JSON schema (`prkb-metrics/v2`) suitable for
 //! dashboards and CI artifacts.
+//!
+//! Schema history: **v2** added the `shards` header field (the sharded
+//! engine-pool topology, see [`MetricsRegistry::set_shards`]), the
+//! `group_commit_*` counters, and the `shard_lock_wait_us` histogram; v1
+//! counter and histogram names are unchanged — names never change meaning,
+//! new names only append.
 //!
 //! ```
 //! use prkb_core::metrics;
@@ -17,7 +23,7 @@
 //! reg.add(metrics::Metric::QueriesComparison, 1);
 //! let snap = reg.snapshot();
 //! assert!(snap.counter("queries_comparison").unwrap() >= 1);
-//! assert!(snap.to_json().starts_with("{\"schema\":\"prkb-metrics/v1\""));
+//! assert!(snap.to_json().starts_with("{\"schema\":\"prkb-metrics/v2\""));
 //! ```
 
 use crate::selection::QueryStats;
@@ -25,10 +31,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Number of counter metrics (length of [`Metric::ALL`]).
-const COUNTER_COUNT: usize = 27;
+const COUNTER_COUNT: usize = 30;
 
 /// Every counter the registry tracks. Names (via [`Metric::name`]) are part
-/// of the `prkb-metrics/v1` JSON schema: never rename, only append.
+/// of the `prkb-metrics/v2` JSON schema: never rename, only append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// Single-comparison selections processed by the engine.
@@ -88,6 +94,14 @@ pub enum Metric {
     /// Malformed wire frames rejected by the server (bad CRC, oversized,
     /// truncated, or undecodable payloads).
     FrameErrors,
+    /// Group-commit batches flushed by shard committers (one fsync each
+    /// unless retried).
+    GroupCommitBatches,
+    /// Refinement records made durable through group-commit batches.
+    GroupCommitRecords,
+    /// fsyncs issued by group-commit flushes (`records / fsyncs` is the
+    /// amortization factor the sharded pool exists for).
+    GroupCommitFsyncs,
 }
 
 impl Metric {
@@ -120,6 +134,9 @@ impl Metric {
         Metric::ServerRequests,
         Metric::ServerBytes,
         Metric::FrameErrors,
+        Metric::GroupCommitBatches,
+        Metric::GroupCommitRecords,
+        Metric::GroupCommitFsyncs,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -152,6 +169,9 @@ impl Metric {
             Metric::ServerRequests => "server_requests",
             Metric::ServerBytes => "server_bytes",
             Metric::FrameErrors => "frame_errors",
+            Metric::GroupCommitBatches => "group_commit_batches",
+            Metric::GroupCommitRecords => "group_commit_records",
+            Metric::GroupCommitFsyncs => "group_commit_fsyncs",
         }
     }
 
@@ -172,10 +192,13 @@ pub enum HistogramId {
     NsWidthPerQuery,
     /// Bytes per WAL transaction.
     WalTxnBytes,
+    /// Microseconds a session spent waiting to check out its shard locks
+    /// (summed over the shards of one checkout).
+    ShardLockWaitUs,
 }
 
 /// Number of histograms (length of [`HistogramId::ALL`]).
-const HISTOGRAM_COUNT: usize = 3;
+const HISTOGRAM_COUNT: usize = 4;
 
 impl HistogramId {
     /// All histograms, in schema order.
@@ -183,6 +206,7 @@ impl HistogramId {
         HistogramId::QpfPerQuery,
         HistogramId::NsWidthPerQuery,
         HistogramId::WalTxnBytes,
+        HistogramId::ShardLockWaitUs,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -191,6 +215,7 @@ impl HistogramId {
             HistogramId::QpfPerQuery => "qpf_per_query",
             HistogramId::NsWidthPerQuery => "ns_width_per_query",
             HistogramId::WalTxnBytes => "wal_txn_bytes",
+            HistogramId::ShardLockWaitUs => "shard_lock_wait_us",
         }
     }
 
@@ -288,6 +313,8 @@ impl QueryKind {
 pub struct MetricsRegistry {
     counters: [AtomicU64; COUNTER_COUNT],
     histograms: [Histogram; HISTOGRAM_COUNT],
+    /// Engine-pool shard count gauge (0 = no pool registered yet).
+    shards: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -302,7 +329,20 @@ impl MetricsRegistry {
         MetricsRegistry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             histograms: std::array::from_fn(|_| Histogram::new()),
+            shards: AtomicU64::new(0),
         }
+    }
+
+    /// Publishes the engine-pool shard count into the snapshot header
+    /// (`"shards"` in `prkb-metrics/v2`). A gauge, not a counter: set at
+    /// pool construction, untouched by [`reset`](Self::reset).
+    pub fn set_shards(&self, n: u64) {
+        self.shards.store(n, Ordering::Relaxed);
+    }
+
+    /// The published engine-pool shard count (0 = none registered).
+    pub fn shards(&self) -> u64 {
+        self.shards.load(Ordering::Relaxed)
     }
 
     /// Adds `delta` to a counter (relaxed; safe from any thread).
@@ -366,6 +406,7 @@ impl MetricsRegistry {
     /// Takes a point-in-time copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            shards: self.shards(),
             counters: Metric::ALL
                 .iter()
                 .map(|&m| (m.name(), self.get(m)))
@@ -396,10 +437,12 @@ pub fn global() -> &'static MetricsRegistry {
     GLOBAL.get_or_init(MetricsRegistry::new)
 }
 
-/// A point-in-time copy of the registry, renderable as `prkb-metrics/v1`
+/// A point-in-time copy of the registry, renderable as `prkb-metrics/v2`
 /// JSON.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
+    /// Engine-pool shard count at snapshot time (0 = none registered).
+    pub shards: u64,
     /// `(name, value)` for every counter, in schema order.
     pub counters: Vec<(&'static str, u64)>,
     /// `(name, buckets)` for every histogram; trailing zero buckets are
@@ -424,19 +467,24 @@ impl MetricsSnapshot {
             .map(|(_, b)| b.as_slice())
     }
 
-    /// Renders the stable `prkb-metrics/v1` JSON document:
+    /// Renders the stable `prkb-metrics/v2` JSON document:
     ///
     /// ```json
-    /// {"schema":"prkb-metrics/v1",
+    /// {"schema":"prkb-metrics/v2",
+    ///  "shards":8,
     ///  "counters":{"queries_comparison":3,...},
     ///  "histograms":{"qpf_per_query":[0,1,2],...}}
     /// ```
     ///
     /// Counter names never change meaning; new names may be appended.
     /// Histogram arrays are log₂ buckets (index 0 = value 0, index i =
-    /// values in `[2^(i-1), 2^i)`), trailing zeros trimmed.
+    /// values in `[2^(i-1), 2^i)`), trailing zeros trimmed. v2 added the
+    /// `shards` header field and the group-commit/shard-wait metrics; v1
+    /// documents differ only by schema tag and the absent header field.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"schema\":\"prkb-metrics/v1\",\"counters\":{");
+        let mut s = String::from("{\"schema\":\"prkb-metrics/v2\",\"shards\":");
+        s.push_str(&self.shards.to_string());
+        s.push_str(",\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -530,8 +578,9 @@ mod tests {
         reg.record_insert(6, true);
         reg.record_wal_txn(100);
         reg.record_fault_events(1, 0, 2, 3);
+        reg.set_shards(8);
         let json = reg.snapshot().to_json();
-        assert!(json.starts_with("{\"schema\":\"prkb-metrics/v1\",\"counters\":{"));
+        assert!(json.starts_with("{\"schema\":\"prkb-metrics/v2\",\"shards\":8,\"counters\":{"));
         assert!(json.contains("\"inserts\":1"));
         assert!(json.contains("\"inserts_parked\":1"));
         assert!(json.contains("\"insert_qpf_uses\":6"));

@@ -1,0 +1,149 @@
+//! Attribute → shard partitioning for the sharded engine pool.
+//!
+//! Each attribute's knowledge base is independent (the paper's POP is
+//! per-attribute), so the engine partitions naturally: hash every attribute
+//! onto one of `PRKB_SHARDS` shards, give each shard its own lock, its own
+//! knowledge bases, and (in durable deployments) its own epoch-tagged WAL.
+//! Unrelated queries then never contend, and durable commits fsync in
+//! parallel.
+//!
+//! The map is a pure function of `(attr, shard count)` — no registry, no
+//! rebalancing — so every layer (scheduler, durability, recovery) computes
+//! the same placement independently. Durable pools persist their shard
+//! count in a manifest ([`crate::durability::ShardedDurablePool`]) so a
+//! reopen under a different `PRKB_SHARDS` still routes attributes to the
+//! WAL that holds their history.
+
+use prkb_edbms::AttrId;
+
+/// Environment variable overriding the default shard count.
+pub const SHARDS_ENV: &str = "PRKB_SHARDS";
+
+/// Upper bound on the *default* shard count (explicit settings may exceed
+/// it). Matches the keystonedb observation that stripe counts past the
+/// fsync-parallelism of the disk stop paying.
+pub const MAX_DEFAULT_SHARDS: usize = 16;
+
+/// A fixed hash partitioning of attributes across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardMap {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Reads `PRKB_SHARDS`, falling back to
+    /// [`default_shards`](Self::default_shards).
+    pub fn from_env() -> Self {
+        let shards = std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or_else(Self::default_shards);
+        Self::new(shards)
+    }
+
+    /// `min(16, available cores)` — one shard per core until the
+    /// [`MAX_DEFAULT_SHARDS`] cap.
+    pub fn default_shards() -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        cores.clamp(1, MAX_DEFAULT_SHARDS)
+    }
+
+    /// Number of shards in this map.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `attr`. Fibonacci-hashed so consecutive attribute
+    /// ids (the common schema) spread instead of clustering.
+    pub fn shard_of(&self, attr: AttrId) -> usize {
+        let h = u64::from(attr).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards
+    }
+
+    /// Groups `attrs` by shard, shards in ascending order (the lock-
+    /// acquisition order every multi-shard operation must use).
+    pub fn group_sorted(&self, attrs: &[AttrId]) -> Vec<(usize, Vec<AttrId>)> {
+        let mut by_shard: Vec<(usize, Vec<AttrId>)> = Vec::new();
+        let mut sorted: Vec<AttrId> = attrs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for attr in sorted {
+            let sid = self.shard_of(attr);
+            match by_shard.iter_mut().find(|(s, _)| *s == sid) {
+                Some((_, v)) => v.push(attr),
+                None => by_shard.push((sid, vec![attr])),
+            }
+        }
+        by_shard.sort_unstable_by_key(|(sid, _)| *sid);
+        by_shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let map = ShardMap::new(1);
+        for attr in 0..100u32 {
+            assert_eq!(map.shard_of(attr), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let map = ShardMap::new(8);
+        for attr in 0..1000u32 {
+            let s = map.shard_of(attr);
+            assert!(s < 8);
+            assert_eq!(s, map.shard_of(attr), "stable placement");
+        }
+    }
+
+    #[test]
+    fn consecutive_attrs_spread_across_shards() {
+        let map = ShardMap::new(8);
+        let mut used = std::collections::HashSet::new();
+        for attr in 0..16u32 {
+            used.insert(map.shard_of(attr));
+        }
+        assert!(
+            used.len() >= 4,
+            "16 attrs landed on {} shard(s)",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn group_sorted_orders_shards_and_dedups() {
+        let map = ShardMap::new(4);
+        let groups = map.group_sorted(&[7, 3, 7, 11, 0]);
+        let mut last = None;
+        let mut total = 0usize;
+        for (sid, attrs) in &groups {
+            assert!(last.is_none_or(|l| l < *sid), "ascending shard order");
+            last = Some(*sid);
+            for a in attrs {
+                assert_eq!(map.shard_of(*a), *sid);
+            }
+            total += attrs.len();
+        }
+        assert_eq!(total, 4, "deduplicated");
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        assert_eq!(ShardMap::new(0).shards(), 1);
+    }
+}

@@ -94,12 +94,18 @@ pub enum CrashPoint {
     BeforeWalRetire,
     /// Checkpoint rotation fully complete.
     AfterWalRetire,
+    /// A group-commit batch is about to be flushed: records are enqueued in
+    /// memory, none of the batch has reached the WAL file yet. Fired by
+    /// group-commit committers at the start of every batch flush — the
+    /// shutdown drain included — so a sweep proves that losing a whole
+    /// *unacknowledged* batch still recovers a committed prefix.
+    BeforeGroupFlush,
 }
 
 impl CrashPoint {
     /// Every hook point, in pipeline order — the sweep the CI job and the
     /// replay-equivalence proptest iterate over.
-    pub const ALL: [CrashPoint; 11] = [
+    pub const ALL: [CrashPoint; 12] = [
         CrashPoint::BeforeWalAppend,
         CrashPoint::MidWalAppend,
         CrashPoint::AfterWalAppend,
@@ -111,6 +117,7 @@ impl CrashPoint {
         CrashPoint::AfterCheckpointRename,
         CrashPoint::BeforeWalRetire,
         CrashPoint::AfterWalRetire,
+        CrashPoint::BeforeGroupFlush,
     ];
 
     /// Stable lowercase name, as accepted by `PRKB_CRASH_POINT`.
@@ -127,6 +134,7 @@ impl CrashPoint {
             CrashPoint::AfterCheckpointRename => "after_checkpoint_rename",
             CrashPoint::BeforeWalRetire => "before_wal_retire",
             CrashPoint::AfterWalRetire => "after_wal_retire",
+            CrashPoint::BeforeGroupFlush => "before_group_flush",
         }
     }
 
@@ -354,6 +362,16 @@ impl Wal {
     /// survives any subsequent crash; callers release the covered result
     /// only after this returns.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), DurabilityError> {
+        self.append_unsynced(payload)?;
+        self.sync()
+    }
+
+    /// Appends one record **without** fsync'ing it. The record is framed and
+    /// written, but a crash before the next [`sync`](Self::sync) may lose it
+    /// (recovery sees at most a torn tail, never misframing — writes land in
+    /// append order). Group commit uses this to write a whole batch and pay
+    /// for one fsync.
+    pub fn append_unsynced(&mut self, payload: &[u8]) -> Result<(), DurabilityError> {
         assert!(
             payload.len() as u64 <= u64::from(MAX_RECORD_LEN),
             "WAL record over MAX_RECORD_LEN"
@@ -379,10 +397,16 @@ impl Wal {
         }
         self.file.write_all(&frame)?;
         self.crash.fire(CrashPoint::AfterWalAppend)?;
-        self.file.sync_data()?;
-        self.crash.fire(CrashPoint::AfterWalSync)?;
         self.records += 1;
         self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Fsyncs everything appended so far (the group-commit barrier). On
+    /// `Ok`, every previously appended record survives any subsequent crash.
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.file.sync_data()?;
+        self.crash.fire(CrashPoint::AfterWalSync)?;
         Ok(())
     }
 

@@ -206,7 +206,7 @@ impl<P: WireCodec> PrkbClient<P> {
         }
     }
 
-    /// Fetches the server's `prkb-metrics/v1` JSON snapshot.
+    /// Fetches the server's `prkb-metrics/v2` JSON snapshot.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.

@@ -221,8 +221,18 @@ where
             false,
         ),
         Request::Shutdown => {
+            // Flush every shard's pending group-commit batch before the
+            // acknowledgement goes on the wire: once the client sees Ok,
+            // the full commit history is on disk even if the process dies
+            // right after. The server drains either way — a failed flush
+            // is reported, not retried (the committer is poisoned; only a
+            // reopen recovers it).
+            let flush = shared.backend.flush_durable();
             shared.trigger_shutdown();
-            (Response::Ok, true)
+            match flush {
+                Ok(()) => (Response::Ok, true),
+                Err(e) => (error_of(&e), true),
+            }
         }
     }
 }

@@ -89,7 +89,7 @@ pub enum Request<P> {
         /// The tuple to forget.
         tuple: TupleId,
     },
-    /// Fetch the `prkb-metrics/v1` JSON snapshot.
+    /// Fetch the `prkb-metrics/v2` JSON snapshot.
     MetricsSnapshot,
     /// Graceful shutdown: drain in-flight queries, then stop.
     Shutdown,
@@ -121,7 +121,7 @@ pub enum Response {
         /// Global commit sequence number.
         seq: u64,
     },
-    /// The `prkb-metrics/v1` JSON document.
+    /// The `prkb-metrics/v2` JSON document.
     Metrics {
         /// The rendered snapshot.
         json: String,
@@ -559,7 +559,7 @@ mod tests {
         });
         roundtrip_resp(Response::Deleted { seq: 5 });
         roundtrip_resp(Response::Metrics {
-            json: "{\"schema\":\"prkb-metrics/v1\"}".into(),
+            json: "{\"schema\":\"prkb-metrics/v2\"}".into(),
         });
         roundtrip_resp(Response::Error {
             code: code::MALFORMED,

@@ -1,27 +1,48 @@
-//! Session scheduler: multiplexes concurrent connections onto one shared
-//! PRKB engine.
+//! Session scheduler: multiplexes concurrent connections onto a sharded
+//! pool of PRKB engines.
 //!
-//! The engine's refinement commits must be serialized — two queries refining
-//! the same attribute's knowledge concurrently would race — but the
-//! *expensive* part of a query is QPF evaluation, which the core pipelines
-//! already split from commit (evaluate-then-commit, PR 2). The scheduler
-//! exploits that split with a **checkout/checkin** protocol:
+//! The engine's refinement commits must be serialized *per attribute* — two
+//! queries refining the same attribute's knowledge concurrently would race —
+//! but the *expensive* part of a query is QPF evaluation, which the core
+//! pipelines already split from commit (evaluate-then-commit, PR 2). The
+//! scheduler exploits that split twice over:
 //!
-//! 1. under the engine lock, the query's attribute footprint is *detached*
-//!    into a private sub-engine ([`prkb_core::PrkbEngine::detach_attrs`]) and
-//!    the attributes are marked busy;
-//! 2. the lock is dropped and the query evaluates (all oracle traffic, all
-//!    QPF spending) against the detached knowledge, concurrently with any
-//!    query whose footprint is disjoint;
-//! 3. under the lock again, the refined knowledge is *attached* back, the
-//!    attributes are freed, and a global **commit sequence number** is
-//!    assigned.
+//! * **Sharding.** Attributes are hash-partitioned across `PRKB_SHARDS`
+//!   shards ([`prkb_core::ShardMap`]), each with its own lock, busy set,
+//!   and (in durable deployments) its own WAL-backed
+//!   [`ShardCommitter`] — so unrelated queries never touch the same mutex
+//!   and durable commits fsync in parallel.
+//! * **Checkout/checkin.** Per shard, a query's attribute footprint is
+//!   *detached* into a private sub-engine
+//!   ([`prkb_core::PrkbEngine::detach_attrs`]) under the shard lock, the
+//!   lock is dropped, and evaluation (all oracle traffic, all QPF spending)
+//!   runs against the detached knowledge, concurrently with any query whose
+//!   footprint is disjoint.
 //!
-//! Queries with overlapping footprints wait on a condvar, so per attribute
-//! the query order is serial. That gives the scheduler its observable
-//! contract: the concurrent execution is indistinguishable from replaying
-//! the queries sequentially in commit-sequence order — same results, same
-//! per-query QPF spend (the loopback tests assert exactly this).
+//! Cross-shard footprints (conjunctions, MD ranges) use a **two-phase
+//! checkout**: shards are reserved strictly in ascending shard-id order,
+//! holding at most one shard mutex at a time, so lock-order cycles are
+//! impossible by construction — the classic hierarchical resource-ordering
+//! argument. Exclusive operations (insert, delete, inspection) reserve
+//! every shard the same way via a per-shard `exclusive` flag.
+//!
+//! Waiting is **precise**: each busy attribute keeps its own condvar plus a
+//! waiter count, and a checkin notifies only the condvars of the attributes
+//! it actually freed (plus the shard's quiescence condvar when the busy set
+//! empties) — a checkin of attribute `a` never wakes a session parked on
+//! attribute `b`.
+//!
+//! The wire-visible **commit sequence number** is drawn from one global
+//! atomic while holding the *first* (lowest-id) shard lock of the
+//! footprint, before any of the footprint's attributes are freed. Two
+//! operations that share an attribute therefore draw in their serialization
+//! order, which gives the scheduler its observable contract: the concurrent
+//! execution is indistinguishable from replaying the operations
+//! sequentially in commit-sequence order — same results, same per-query QPF
+//! spend (the loopback and proptest suites assert exactly this). Internally
+//! a durable shard's commits are positioned by `(shard_epoch, shard_seq)`
+//! ([`prkb_core::GroupCommitTicket::position`]); the global number exists
+//! only for the wire.
 //!
 //! Because per-query cost accounting in the core pipelines is delta-based
 //! over [`SelectionOracle::qpf_uses`], a *shared* oracle counter would bleed
@@ -29,17 +50,21 @@
 //! wraps the shared oracle with a per-query counter so stats stay exact
 //! under concurrency.
 
+use prkb_core::durability::{encode_txn, GroupCommitTicket, TxnEntry};
+use prkb_core::metrics::{self, HistogramId};
 use prkb_core::snapshot::WireCodec;
 use prkb_core::{
-    DurableEngine, DurableError, InsertOutcome, PrkbEngine, QueryError, Selection, SpPredicate,
+    DurableEngine, DurableError, EngineConfig, InsertOutcome, PrkbEngine, QueryError, Selection,
+    ShardCommitter, ShardMap, ShardedDurablePool, SpPredicate,
 };
 use prkb_edbms::trapdoor::PredicateKind;
 use prkb_edbms::{AttrId, OracleError, SelectionOracle, TupleId};
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Failures a scheduled request can produce.
 #[derive(Debug)]
@@ -153,32 +178,36 @@ impl<O: SelectionOracle> SelectionOracle for SessionOracle<'_, O> {
     }
 }
 
-struct SchedulerState<P: SpPredicate> {
-    engine: PrkbEngine<P>,
+/// A parked-session registration for one busy attribute: its condvar plus
+/// how many sessions currently wait on it. The entry is removed when the
+/// count drops to zero, so `waiters` only ever holds contended attributes.
+struct WaitCell {
+    cv: Arc<Condvar>,
+    count: usize,
+}
+
+struct ShardState<P: SpPredicate> {
+    /// The shard's engine; `None` while an exclusive operation has it out.
+    engine: Option<PrkbEngine<P>>,
+    /// Attributes currently checked out by in-flight queries.
     busy: HashSet<AttrId>,
-    seq: u64,
+    /// Per-attribute waiter registrations (precise wakeups).
+    waiters: HashMap<AttrId, WaitCell>,
+    /// Set while an exclusive operation owns the shard.
+    exclusive: bool,
 }
 
-/// Checkout/checkin scheduler over one shared [`PrkbEngine`].
-pub struct SessionScheduler<P: SpPredicate> {
-    state: Mutex<SchedulerState<P>>,
-    freed: Condvar,
+struct Shard<P: SpPredicate> {
+    state: Mutex<ShardState<P>>,
+    /// Signals "the shard may be quiescent": busy set emptied, exclusive
+    /// flag cleared, or engine reinstalled.
+    quiescent: Condvar,
+    /// Durable deployments: the shard's group-commit pipeline.
+    committer: Option<ShardCommitter<P>>,
 }
 
-impl<P: SpPredicate> SessionScheduler<P> {
-    /// Wraps `engine` for concurrent use.
-    pub fn new(engine: PrkbEngine<P>) -> Self {
-        SessionScheduler {
-            state: Mutex::new(SchedulerState {
-                engine,
-                busy: HashSet::new(),
-                seq: 0,
-            }),
-            freed: Condvar::new(),
-        }
-    }
-
-    fn lock(&self) -> MutexGuard<'_, SchedulerState<P>> {
+impl<P: SpPredicate> Shard<P> {
+    fn lock(&self) -> MutexGuard<'_, ShardState<P>> {
         // A worker that panicked mid-commit cannot be reasoned about; treat
         // the lock as still usable (knowledge moves are two-phase and the
         // engine is abort-safe) rather than cascading the panic.
@@ -188,46 +217,232 @@ impl<P: SpPredicate> SessionScheduler<P> {
         }
     }
 
-    /// Runs `f` against the detached knowledge of `attrs`, holding the
-    /// engine lock only for checkout and checkin. Returns `f`'s result and
-    /// the commit sequence number assigned at checkin.
+    fn wait_quiescent<'g>(
+        &self,
+        guard: MutexGuard<'g, ShardState<P>>,
+    ) -> MutexGuard<'g, ShardState<P>> {
+        match self.quiescent.wait(guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Parks the caller on `attr`'s condvar until a checkin frees it.
+    fn wait_attr<'g>(
+        &self,
+        mut guard: MutexGuard<'g, ShardState<P>>,
+        attr: AttrId,
+    ) -> MutexGuard<'g, ShardState<P>> {
+        let cv = {
+            let cell = guard.waiters.entry(attr).or_insert_with(|| WaitCell {
+                cv: Arc::new(Condvar::new()),
+                count: 0,
+            });
+            cell.count += 1;
+            Arc::clone(&cell.cv)
+        };
+        guard = match cv.wait(guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let cell = guard
+            .waiters
+            .get_mut(&attr)
+            .expect("registered waiter entry survives until count hits zero");
+        cell.count -= 1;
+        if cell.count == 0 {
+            guard.waiters.remove(&attr);
+        }
+        guard
+    }
+}
+
+/// Checkout/checkin scheduler over a shard-per-attribute engine pool.
+pub struct SessionScheduler<P: SpPredicate> {
+    shards: Vec<Shard<P>>,
+    map: ShardMap,
+    /// Global wire-visible commit sequence (drawn under the first shard
+    /// lock of a committing footprint).
+    seq: AtomicU64,
+    config: EngineConfig,
+}
+
+impl<P: SpPredicate + WireCodec> SessionScheduler<P> {
+    /// Wraps `engine` for concurrent use, partitioned per `PRKB_SHARDS`
+    /// (default `min(16, cores)`).
+    pub fn new(engine: PrkbEngine<P>) -> Self {
+        Self::with_shards(engine, ShardMap::from_env())
+    }
+
+    /// Wraps `engine` with an explicit shard map (tests and benches pin
+    /// their shard count regardless of the environment).
+    pub fn with_shards(mut engine: PrkbEngine<P>, map: ShardMap) -> Self {
+        let config = engine.config;
+        let attrs: Vec<AttrId> = engine.attrs().collect();
+        let mut shards = Vec::with_capacity(map.shards());
+        for sid in 0..map.shards() {
+            let own: Vec<AttrId> = attrs
+                .iter()
+                .copied()
+                .filter(|&a| map.shard_of(a) == sid)
+                .collect();
+            let sub = engine
+                .detach_attrs(&own)
+                .expect("attrs enumerated from the engine");
+            shards.push(Shard {
+                state: Mutex::new(ShardState {
+                    engine: Some(sub),
+                    busy: HashSet::new(),
+                    waiters: HashMap::new(),
+                    exclusive: false,
+                }),
+                quiescent: Condvar::new(),
+                committer: None,
+            });
+        }
+        metrics::global().set_shards(map.shards() as u64);
+        SessionScheduler {
+            shards,
+            map,
+            seq: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// Wraps a recovered [`ShardedDurablePool`]: every shard keeps its own
+    /// WAL-backed [`ShardCommitter`], and each committed operation is acked
+    /// only after its records are group-commit durable on every shard it
+    /// touched.
+    pub fn durable(pool: ShardedDurablePool<P>) -> Self {
+        let (map, parts) = pool.into_parts();
+        let config = parts
+            .first()
+            .map(|(engine, _)| engine.config)
+            .unwrap_or_default();
+        let shards = parts
+            .into_iter()
+            .map(|(engine, committer)| Shard {
+                state: Mutex::new(ShardState {
+                    engine: Some(engine),
+                    busy: HashSet::new(),
+                    waiters: HashMap::new(),
+                    exclusive: false,
+                }),
+                quiescent: Condvar::new(),
+                committer: Some(committer),
+            })
+            .collect();
+        metrics::global().set_shards(map.shards() as u64);
+        SessionScheduler {
+            shards,
+            map,
+            seq: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether this pool persists commits through shard committers.
+    pub fn is_durable(&self) -> bool {
+        self.shards.iter().any(|s| s.committer.is_some())
+    }
+
+    /// Refuse new work on a footprint that includes a poisoned shard:
+    /// its memory may be ahead of disk, and only a reopen recovers that.
+    fn check_shard_poison(&self, sids: impl Iterator<Item = usize>) -> Result<(), ServeError> {
+        for sid in sids {
+            if let Some(committer) = &self.shards[sid].committer {
+                if committer.is_poisoned() {
+                    return Err(ServeError::Durable(DurableError::Poisoned));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f` against the detached knowledge of `attrs`, holding each
+    /// shard's lock only for checkout and checkin (two-phase, ascending
+    /// shard-id order). Returns `f`'s result and the commit sequence number
+    /// assigned at checkin. In durable pools the refinements are
+    /// group-commit durable on every touched shard before this returns.
     ///
     /// # Errors
-    /// [`QueryError::AttrNotInitialized`] if any attribute is unknown (no
-    /// knowledge is moved), or whatever `f` reports (the knowledge is still
-    /// reattached — the core pipelines leave it untouched on abort).
+    /// [`QueryError::AttrNotInitialized`] if any attribute is unknown (all
+    /// knowledge is reattached), whatever `f` reports (the knowledge is
+    /// still reattached — the core pipelines leave it untouched on abort),
+    /// or [`ServeError::Durable`] when a durable shard fails.
     pub fn with_detached<T>(
         &self,
         attrs: &[AttrId],
         f: impl FnOnce(&mut PrkbEngine<P>) -> Result<T, QueryError>,
     ) -> Result<(T, u64), ServeError> {
-        let mut sub = {
-            let mut state = self.lock();
-            while attrs.iter().any(|a| state.busy.contains(a)) {
-                state = match self.freed.wait(state) {
-                    Ok(g) => g,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-            }
-            let sub = state.engine.detach_attrs(attrs)?;
-            state.busy.extend(attrs.iter().copied());
-            sub
-        };
+        let groups = self.map.group_sorted(attrs);
+        self.check_shard_poison(groups.iter().map(|(sid, _)| *sid))?;
 
-        // Evaluation happens here, outside the lock. A panic guard checks
+        // Phase 1: reserve and detach, shards strictly ascending, at most
+        // one shard mutex held at a time — deadlock-free by lock ordering.
+        let mut wait_us = 0u64;
+        let mut parts: Vec<(usize, Vec<AttrId>)> = Vec::with_capacity(groups.len());
+        let mut merged: Option<PrkbEngine<P>> = None;
+        for (sid, shard_attrs) in &groups {
+            let shard = &self.shards[*sid];
+            let reserve_start = Instant::now();
+            let mut st = shard.lock();
+            loop {
+                if st.exclusive || st.engine.is_none() {
+                    st = shard.wait_quiescent(st);
+                } else if let Some(&blocking) = shard_attrs.iter().find(|a| st.busy.contains(a)) {
+                    st = shard.wait_attr(st, blocking);
+                } else {
+                    break;
+                }
+            }
+            wait_us += reserve_start.elapsed().as_micros() as u64;
+            let sub = match st
+                .engine
+                .as_mut()
+                .expect("reservation loop ensured engine present")
+                .detach_attrs(shard_attrs)
+            {
+                Ok(sub) => sub,
+                Err(e) => {
+                    drop(st);
+                    // Roll the earlier reservations back before failing.
+                    self.release_parts(&parts, merged.take(), false);
+                    metrics::global().observe(HistogramId::ShardLockWaitUs, wait_us);
+                    return Err(e.into());
+                }
+            };
+            st.busy.extend(shard_attrs.iter().copied());
+            drop(st);
+            match &mut merged {
+                None => merged = Some(sub),
+                Some(m) => m.attach(sub),
+            }
+            parts.push((*sid, shard_attrs.clone()));
+        }
+        metrics::global().observe(HistogramId::ShardLockWaitUs, wait_us);
+        let mut sub = merged.unwrap_or_else(|| PrkbEngine::new(self.config));
+
+        // Evaluation happens here, outside every lock. A panic guard checks
         // the knowledge back in even if `f` unwinds, so one poisoned query
         // cannot strand an attribute's index.
         let mut guard = Checkin {
             sched: self,
-            attrs,
-            sub: None,
+            parts: &parts,
+            merged: None,
         };
         let result = f(&mut sub);
-        guard.sub = Some(sub);
+        guard.merged = Some(sub);
 
         match result {
             Ok(value) => {
-                let seq = guard.checkin(true);
+                let (seq, tickets) = guard.checkin(true);
+                self.settle_commit(&parts, tickets)?;
                 Ok((value, seq))
             }
             Err(e) => {
@@ -237,89 +452,387 @@ impl<P: SpPredicate> SessionScheduler<P> {
         }
     }
 
-    /// Runs `f` with exclusive access to the whole engine (waits for every
-    /// in-flight checkout to finish first) and assigns a commit sequence
-    /// number. For operations whose footprint is every attribute: inserts,
-    /// deletes.
-    pub fn with_exclusive<T>(&self, f: impl FnOnce(&mut PrkbEngine<P>) -> T) -> (T, u64) {
-        let mut state = self.wait_quiescent();
-        let value = f(&mut state.engine);
-        state.seq += 1;
-        (value, state.seq)
-    }
-
-    /// Runs `f` with read access to the quiescent engine, without assigning
-    /// a sequence number. For validation and inspection.
-    pub fn inspect<T>(&self, f: impl FnOnce(&PrkbEngine<P>) -> T) -> T {
-        let state = self.wait_quiescent();
-        f(&state.engine)
-    }
-
-    /// Waits for all checkouts to return, then hands the engine back for
-    /// single-threaded use (server shutdown).
-    pub fn into_engine(self) -> PrkbEngine<P> {
-        drop(self.wait_quiescent());
-        match self.state.into_inner() {
-            Ok(state) => state.engine,
-            Err(poisoned) => poisoned.into_inner().engine,
-        }
-    }
-
-    fn wait_quiescent(&self) -> MutexGuard<'_, SchedulerState<P>> {
-        let mut state = self.lock();
-        while !state.busy.is_empty() {
-            state = match self.freed.wait(state) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
+    /// Splits `merged` back into its per-shard parts and checks each in,
+    /// ascending. On a committed checkin this draws the global sequence
+    /// number under the first shard's lock and enqueues one WAL record per
+    /// touched durable shard (atomically with the reattach, so each shard's
+    /// WAL order matches its commit order). Returns the sequence number and
+    /// the group-commit tickets still to be awaited.
+    fn release_parts(
+        &self,
+        parts: &[(usize, Vec<AttrId>)],
+        merged: Option<PrkbEngine<P>>,
+        committed: bool,
+    ) -> (u64, Vec<(usize, GroupCommitTicket)>) {
+        let mut tickets = Vec::new();
+        let mut seq = 0u64;
+        let Some(mut merged) = merged else {
+            if committed {
+                seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            }
+            return (seq, tickets);
+        };
+        let last = parts.len().saturating_sub(1);
+        for (i, (sid, shard_attrs)) in parts.iter().enumerate() {
+            let mut sub = if i == last {
+                std::mem::replace(&mut merged, PrkbEngine::new(self.config))
+            } else {
+                merged
+                    .detach_attrs(shard_attrs)
+                    .expect("footprint attrs present in merged sub-engine")
             };
+            // Journaled ops travel with the knowledge; drain them after the
+            // split so each batch is exactly this shard's ops. Aborted
+            // operations left no ops (abort-safe pipelines).
+            let ops = sub.take_ops();
+            let shard = &self.shards[*sid];
+            let mut st = shard.lock();
+            if committed && i == 0 {
+                seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            }
+            st.engine
+                .as_mut()
+                .expect("busy attrs pin the engine in place")
+                .attach(sub);
+            for a in shard_attrs {
+                st.busy.remove(a);
+            }
+            if committed {
+                if let Some(committer) = &shard.committer {
+                    let entries: Vec<TxnEntry<P>> = ops
+                        .into_iter()
+                        .map(|(attr, op)| TxnEntry::Op { attr, op })
+                        .collect();
+                    tickets.push((*sid, committer.enqueue(encode_txn(&entries))));
+                }
+            }
+            // Precise wakeups: only sessions parked on an attribute this
+            // checkin actually freed.
+            for a in shard_attrs {
+                if let Some(cell) = st.waiters.get(a) {
+                    cell.cv.notify_all();
+                }
+            }
+            let now_quiescent = st.busy.is_empty();
+            drop(st);
+            if now_quiescent {
+                shard.quiescent.notify_all();
+            }
         }
-        state
+        if committed && parts.is_empty() {
+            seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        (seq, tickets)
+    }
+
+    /// Awaits group-commit durability for every ticket, then lets any
+    /// touched shard that crossed its checkpoint threshold rotate.
+    fn settle_commit(
+        &self,
+        parts: &[(usize, Vec<AttrId>)],
+        tickets: Vec<(usize, GroupCommitTicket)>,
+    ) -> Result<(), ServeError> {
+        for (sid, ticket) in tickets {
+            self.shards[sid]
+                .committer
+                .as_ref()
+                .expect("ticket issued by this shard's committer")
+                .wait_durable(ticket)
+                .map_err(ServeError::Durable)?;
+        }
+        for (sid, _) in parts {
+            self.maybe_checkpoint_shard(*sid)?;
+        }
+        Ok(())
+    }
+
+    /// Rotates one shard's checkpoint if its policy asks for it and the
+    /// shard is momentarily quiescent (otherwise a later commit retries —
+    /// the threshold check is cheap).
+    fn maybe_checkpoint_shard(&self, sid: usize) -> Result<(), ServeError> {
+        let shard = &self.shards[sid];
+        let Some(committer) = &shard.committer else {
+            return Ok(());
+        };
+        if !committer.wants_checkpoint(&self.config) {
+            return Ok(());
+        }
+        let st = shard.lock();
+        if st.exclusive || !st.busy.is_empty() {
+            return Ok(());
+        }
+        let Some(engine) = st.engine.as_ref() else {
+            return Ok(());
+        };
+        // The shard lock is held across the rotation: no checkout can
+        // mutate or enqueue while the snapshot is serialized, so the
+        // checkpoint is exactly the state the flushed WAL produced.
+        committer.checkpoint(engine).map_err(ServeError::Durable)
+    }
+
+    /// Reserves every shard exclusively (ascending id order) and merges the
+    /// pool into one engine for a whole-table operation.
+    fn reserve_all(&self) -> PrkbEngine<P> {
+        let reserve_start = Instant::now();
+        let mut merged = PrkbEngine::new(self.config);
+        for shard in &self.shards {
+            let mut st = shard.lock();
+            while st.exclusive || st.engine.is_none() || !st.busy.is_empty() {
+                st = shard.wait_quiescent(st);
+            }
+            st.exclusive = true;
+            let engine = st.engine.take().expect("loop ensured engine present");
+            drop(st);
+            merged.attach(engine);
+        }
+        metrics::global().observe(
+            HistogramId::ShardLockWaitUs,
+            reserve_start.elapsed().as_micros() as u64,
+        );
+        merged
+    }
+
+    /// Splits a merged whole-pool engine back into its shards, clearing the
+    /// exclusive flags (ascending order; the sequence number, if any, is
+    /// drawn under shard 0's lock).
+    fn reinstall_all(
+        &self,
+        mut merged: PrkbEngine<P>,
+        committed: bool,
+    ) -> (u64, Vec<(usize, GroupCommitTicket)>) {
+        let mut tickets = Vec::new();
+        let mut seq = 0u64;
+        let last = self.shards.len() - 1;
+        for (sid, shard) in self.shards.iter().enumerate() {
+            let mut sub = if sid == last {
+                std::mem::replace(&mut merged, PrkbEngine::new(self.config))
+            } else {
+                let own: Vec<AttrId> = merged
+                    .attrs()
+                    .filter(|&a| self.map.shard_of(a) == sid)
+                    .collect();
+                merged
+                    .detach_attrs(&own)
+                    .expect("attrs enumerated from merged engine")
+            };
+            let ops = sub.take_ops();
+            let mut st = shard.lock();
+            if committed && sid == 0 {
+                seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            }
+            st.engine = Some(sub);
+            st.exclusive = false;
+            if committed {
+                if let Some(committer) = &shard.committer {
+                    let entries: Vec<TxnEntry<P>> = ops
+                        .into_iter()
+                        .map(|(attr, op)| TxnEntry::Op { attr, op })
+                        .collect();
+                    tickets.push((sid, committer.enqueue(encode_txn(&entries))));
+                }
+            }
+            drop(st);
+            shard.quiescent.notify_all();
+        }
+        (seq, tickets)
+    }
+
+    /// Runs `f` with exclusive access to the whole pool (waits for every
+    /// in-flight checkout on every shard first) and assigns a commit
+    /// sequence number. For operations whose footprint is every attribute:
+    /// inserts, deletes. In durable pools the journaled ops are
+    /// group-commit durable on every shard before this returns.
+    ///
+    /// # Errors
+    /// [`ServeError::Durable`] when a durable shard fails; infallible on
+    /// in-memory pools.
+    pub fn with_exclusive<T>(
+        &self,
+        f: impl FnOnce(&mut PrkbEngine<P>) -> T,
+    ) -> Result<(T, u64), ServeError> {
+        self.check_shard_poison(0..self.shards.len())?;
+        let mut merged = self.reserve_all();
+        let mut guard = ExclusiveCheckin {
+            sched: self,
+            merged: None,
+        };
+        let value = f(&mut merged);
+        guard.merged = Some(merged);
+        let (seq, tickets) = guard.checkin(true);
+        for (sid, ticket) in tickets {
+            self.shards[sid]
+                .committer
+                .as_ref()
+                .expect("ticket issued by this shard's committer")
+                .wait_durable(ticket)
+                .map_err(ServeError::Durable)?;
+        }
+        for sid in 0..self.shards.len() {
+            self.maybe_checkpoint_shard(sid)?;
+        }
+        Ok((value, seq))
+    }
+
+    /// Runs `f` with read access to the quiescent pool, without assigning a
+    /// sequence number. For validation and inspection.
+    pub fn inspect<T>(&self, f: impl FnOnce(&PrkbEngine<P>) -> T) -> T {
+        let merged = self.reserve_all();
+        let mut guard = ExclusiveCheckin {
+            sched: self,
+            merged: Some(merged),
+        };
+        let value = f(guard.merged.as_ref().expect("set above"));
+        guard.checkin(false);
+        value
+    }
+
+    /// Flushes and fsyncs every shard's pending group-commit batch — the
+    /// graceful-drain barrier. Acked commits already waited for
+    /// durability, so this is a safety net that guarantees the invariant
+    /// at shutdown regardless of timing.
+    ///
+    /// # Errors
+    /// [`ServeError::Durable`] when a shard's flush fails.
+    pub fn flush_durable(&self) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            if let Some(committer) = &shard.committer {
+                committer.flush().map_err(ServeError::Durable)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Waits for all checkouts to return, then hands the merged engine back
+    /// for single-threaded use (server shutdown). Durable pools flush
+    /// their pending batches first.
+    pub fn into_engine(self) -> PrkbEngine<P> {
+        let _ = self.flush_durable();
+        self.reserve_all()
     }
 }
 
-/// Panic-safe checkin: reattaches detached knowledge and frees the busy
-/// attributes on drop. The happy path calls [`Checkin::checkin`] explicitly
-/// to also obtain a sequence number.
+/// Panic-safe checkin for a detached footprint: reattaches the knowledge
+/// and frees the busy attributes on drop. The happy path calls
+/// [`Checkin::checkin`] explicitly to also obtain a sequence number and the
+/// durability tickets.
 struct Checkin<'a, P: SpPredicate> {
     sched: &'a SessionScheduler<P>,
-    attrs: &'a [AttrId],
-    sub: Option<PrkbEngine<P>>,
+    parts: &'a [(usize, Vec<AttrId>)],
+    merged: Option<PrkbEngine<P>>,
 }
 
-impl<P: SpPredicate> Checkin<'_, P> {
-    fn checkin(&mut self, committed: bool) -> u64 {
-        let sub = self.sub.take().expect("checkin called once, with sub set");
-        let mut state = self.sched.lock();
-        state.engine.attach(sub);
-        for a in self.attrs {
-            state.busy.remove(a);
-        }
-        if committed {
-            state.seq += 1;
-        }
-        let seq = state.seq;
-        drop(state);
-        self.sched.freed.notify_all();
-        seq
+impl<P: SpPredicate + WireCodec> Checkin<'_, P> {
+    fn checkin(&mut self, committed: bool) -> (u64, Vec<(usize, GroupCommitTicket)>) {
+        let merged = self.merged.take();
+        self.sched.release_parts(self.parts, merged, committed)
     }
 }
 
 impl<P: SpPredicate> Drop for Checkin<'_, P> {
     fn drop(&mut self) {
-        if self.sub.is_some() {
-            self.checkin(false);
+        if let Some(merged) = self.merged.take() {
+            // Only reachable when `f` panicked: WireCodec is not needed for
+            // an uncommitted release, but the bound lives on the shared
+            // helper, so reattach inline.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                release_uncommitted(self.sched, self.parts, merged);
+            }));
         }
     }
 }
 
-/// The engine a server fronts: either a shared in-memory engine behind the
-/// checkout/checkin scheduler, or a [`DurableEngine`] behind a coarse lock
-/// (the write-ahead log must observe commits in order, so durable mode
-/// trades evaluate-phase concurrency for crash safety).
+/// Uncommitted reattach used by the panic guards (no sequence number, no
+/// WAL records — abort-safe pipelines left no ops to journal).
+fn release_uncommitted<P: SpPredicate>(
+    sched: &SessionScheduler<P>,
+    parts: &[(usize, Vec<AttrId>)],
+    mut merged: PrkbEngine<P>,
+) {
+    let last = parts.len().saturating_sub(1);
+    for (i, (sid, shard_attrs)) in parts.iter().enumerate() {
+        let mut sub = if i == last {
+            std::mem::replace(&mut merged, PrkbEngine::new(sched.config))
+        } else {
+            merged
+                .detach_attrs(shard_attrs)
+                .expect("footprint attrs present in merged sub-engine")
+        };
+        let _ = sub.take_ops();
+        let shard = &sched.shards[*sid];
+        let mut st = shard.lock();
+        st.engine
+            .as_mut()
+            .expect("busy attrs pin the engine in place")
+            .attach(sub);
+        for a in shard_attrs {
+            st.busy.remove(a);
+        }
+        for a in shard_attrs {
+            if let Some(cell) = st.waiters.get(a) {
+                cell.cv.notify_all();
+            }
+        }
+        let now_quiescent = st.busy.is_empty();
+        drop(st);
+        if now_quiescent {
+            shard.quiescent.notify_all();
+        }
+    }
+}
+
+/// Panic-safe exclusive checkin: reinstalls the merged pool on drop.
+struct ExclusiveCheckin<'a, P: SpPredicate> {
+    sched: &'a SessionScheduler<P>,
+    merged: Option<PrkbEngine<P>>,
+}
+
+impl<P: SpPredicate + WireCodec> ExclusiveCheckin<'_, P> {
+    fn checkin(&mut self, committed: bool) -> (u64, Vec<(usize, GroupCommitTicket)>) {
+        let merged = self
+            .merged
+            .take()
+            .expect("checkin called once, with sub set");
+        self.sched.reinstall_all(merged, committed)
+    }
+}
+
+impl<P: SpPredicate> Drop for ExclusiveCheckin<'_, P> {
+    fn drop(&mut self) {
+        if let Some(mut merged) = self.merged.take() {
+            let sched = self.sched;
+            let last = sched.shards.len() - 1;
+            for (sid, shard) in sched.shards.iter().enumerate() {
+                let sub = if sid == last {
+                    std::mem::replace(&mut merged, PrkbEngine::new(sched.config))
+                } else {
+                    let own: Vec<AttrId> = merged
+                        .attrs()
+                        .filter(|&a| sched.map.shard_of(a) == sid)
+                        .collect();
+                    merged
+                        .detach_attrs(&own)
+                        .expect("attrs enumerated from merged engine")
+                };
+                let mut st = shard.lock();
+                st.engine = Some(sub);
+                st.exclusive = false;
+                drop(st);
+                shard.quiescent.notify_all();
+            }
+        }
+    }
+}
+
+/// The engine a server fronts: either a (possibly durable) sharded pool
+/// behind the checkout/checkin scheduler, or a [`DurableEngine`] behind a
+/// coarse lock — the pre-sharding durability path, kept as the baseline the
+/// group-commit benchmarks compare against.
 pub enum Backend<P: SpPredicate + WireCodec> {
-    /// In-memory engine, evaluate-phase concurrency via the scheduler.
+    /// Sharded engine pool; durable when built from a
+    /// [`ShardedDurablePool`] (see [`SessionScheduler::durable`]).
     Shared(SessionScheduler<P>),
-    /// Durable engine, serialized end to end.
+    /// Coarse-locked durable engine, serialized end to end: one fsync per
+    /// committed operation, no evaluate-phase concurrency.
     Durable(Mutex<DurableSlot<P>>),
 }
 
@@ -413,7 +926,7 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
     {
         match self {
             Backend::Shared(sched) => {
-                let (result, seq) = sched.with_exclusive(|engine| engine.try_insert(oracle, t));
+                let (result, seq) = sched.with_exclusive(|engine| engine.try_insert(oracle, t))?;
                 Ok((result?, seq))
             }
             Backend::Durable(slot) => {
@@ -428,11 +941,12 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
     /// Delete across every indexed attribute.
     ///
     /// # Errors
-    /// [`ServeError::Durable`] in durable mode; infallible when shared.
+    /// [`ServeError::Durable`] in durable mode; infallible when shared and
+    /// in-memory.
     pub fn delete(&self, t: TupleId) -> Result<u64, ServeError> {
         match self {
             Backend::Shared(sched) => {
-                let ((), seq) = sched.with_exclusive(|engine| engine.delete(t));
+                let ((), seq) = sched.with_exclusive(|engine| engine.delete(t))?;
                 Ok(seq)
             }
             Backend::Durable(slot) => {
@@ -449,6 +963,19 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
         match self {
             Backend::Shared(sched) => sched.inspect(f),
             Backend::Durable(slot) => f(Self::durable_lock(slot).engine.engine()),
+        }
+    }
+
+    /// Flushes every pending group-commit batch (graceful drain). A no-op
+    /// for in-memory pools and for the coarse durable path, whose commits
+    /// are already fsync'd one by one.
+    ///
+    /// # Errors
+    /// [`ServeError::Durable`] when a shard's flush fails.
+    pub fn flush_durable(&self) -> Result<(), ServeError> {
+        match self {
+            Backend::Shared(sched) => sched.flush_durable(),
+            Backend::Durable(_) => Ok(()),
         }
     }
 }
@@ -587,5 +1114,57 @@ mod tests {
                 .validate()
                 .expect("valid after concurrency");
         }
+    }
+
+    #[test]
+    fn cross_shard_footprint_reserves_and_releases() {
+        // 8 shards, 6 attributes: conjunction footprints span shards and
+        // must come back fully reattached.
+        let columns: Vec<Vec<u64>> = (0..6)
+            .map(|a| (0..100).map(|i| (i * (7 + a)) % 100).collect())
+            .collect();
+        let oracle = PlainOracle::from_columns(columns);
+        let sched = SessionScheduler::with_shards(engine_with(&oracle, 6), ShardMap::new(8));
+        assert_eq!(sched.shards(), 8);
+        let attrs: Vec<AttrId> = (0..6).collect();
+        let session = SessionOracle::new(&oracle);
+        let preds: Vec<Predicate> = (0..6)
+            .map(|a| Predicate::cmp(a, ComparisonOp::Lt, 60))
+            .collect();
+        let (sel, seq) = sched
+            .with_detached(&attrs, |sub| {
+                sub.try_select_conjunction(&session, &preds, &mut StdRng::seed_from_u64(3))
+            })
+            .expect("conjunction across shards");
+        assert_eq!(seq, 1);
+        assert!(!sel.tuples.is_empty());
+        // Every attribute must be queryable again afterwards.
+        for a in 0..6u32 {
+            let session = SessionOracle::new(&oracle);
+            let pred = Predicate::cmp(a, ComparisonOp::Lt, 10);
+            sched
+                .with_detached(&[a], |sub| {
+                    sub.try_select(&session, &pred, &mut StdRng::seed_from_u64(4))
+                })
+                .expect("single-attr select after conjunction");
+        }
+    }
+
+    #[test]
+    fn exclusive_merges_and_splits_across_shards() {
+        let columns: Vec<Vec<u64>> = (0..4)
+            .map(|a| (0..80).map(|i| (i * (3 + a)) % 80).collect())
+            .collect();
+        let oracle = PlainOracle::from_columns(columns);
+        let sched = SessionScheduler::with_shards(engine_with(&oracle, 4), ShardMap::new(8));
+        let ((), seq) = sched
+            .with_exclusive(|engine| engine.delete(5))
+            .expect("delete");
+        assert_eq!(seq, 1);
+        sched.inspect(|engine| {
+            assert_eq!(engine.attrs().count(), 4, "all attrs back after exclusive");
+        });
+        let engine = sched.into_engine();
+        assert_eq!(engine.attrs().count(), 4);
     }
 }

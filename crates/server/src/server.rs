@@ -15,7 +15,7 @@ use crate::conn::{self, Shared};
 use crate::scheduler::{Backend, DurableSlot, SessionScheduler};
 use crate::wire::DEFAULT_MAX_FRAME_LEN;
 use prkb_core::snapshot::WireCodec;
-use prkb_core::{DurableEngine, PrkbEngine, SpPredicate};
+use prkb_core::{DurableEngine, PrkbEngine, ShardedDurablePool, SpPredicate};
 use prkb_edbms::SelectionOracle;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -125,6 +125,29 @@ where
         Self::bind_backend(
             addr,
             Backend::Shared(SessionScheduler::new(engine)),
+            oracle,
+            config,
+        )
+    }
+
+    /// Binds `addr` and fronts a recovered [`ShardedDurablePool`]: the
+    /// session scheduler checks footprints out per shard, commits are
+    /// group-committed per shard's WAL, and every reply waits for
+    /// durability on the shards it touched. This is the durable
+    /// deployment path; [`bind_durable`](Self::bind_durable) keeps the
+    /// coarse single-WAL engine as the comparison baseline.
+    ///
+    /// # Errors
+    /// Socket bind failure.
+    pub fn bind_durable_pool(
+        addr: impl ToSocketAddrs,
+        pool: ShardedDurablePool<P>,
+        oracle: O,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::bind_backend(
+            addr,
+            Backend::Shared(SessionScheduler::durable(pool)),
             oracle,
             config,
         )
@@ -258,6 +281,13 @@ where
         drop(listener);
         for w in workers {
             w.join().expect("worker thread panicked");
+        }
+
+        // Drain barrier: every acked commit already waited for durability,
+        // but flush-and-fsync whatever batch is still pending so the
+        // on-disk state is complete before the report is handed back.
+        if let Err(e) = shared.backend.flush_durable() {
+            return Err(io::Error::other(format!("drain flush failed: {e}")));
         }
 
         Ok(ServerReport { shared })

@@ -12,7 +12,7 @@
 //!   surface as stable wire codes, never as dead workers.
 
 use prkb_core::snapshot;
-use prkb_core::{DurableEngine, EngineConfig, PrkbEngine};
+use prkb_core::{DurableEngine, EngineConfig, PrkbEngine, ShardMap, ShardedDurablePool};
 use prkb_edbms::testing::PlainOracle;
 use prkb_edbms::{AttrId, ComparisonOp, Predicate, TupleId};
 use prkb_server::{proto, ClientError, PrkbClient, PrkbServer, ServerConfig};
@@ -345,6 +345,80 @@ fn durable_backend_survives_restart() {
     assert_eq!(k_disk, k_live, "no committed refinement lost to shutdown");
 }
 
+#[test]
+fn durable_pool_backend_survives_restart() {
+    let dir = TmpDir::new("durable-pool");
+    let oracle = PlainOracle::from_columns(columns());
+    let map = ShardMap::new(4);
+    let mut pool =
+        ShardedDurablePool::open(&dir.0, EngineConfig::default(), map).expect("open pool");
+    pool.init_attr(0, ROWS).expect("init");
+    pool.init_attr(1, ROWS).expect("init");
+
+    let server =
+        PrkbServer::bind_durable_pool("127.0.0.1:0", pool, oracle, ServerConfig::default())
+            .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.spawn().expect("spawn");
+
+    let mut client: PrkbClient<Predicate> = PrkbClient::connect(addr).expect("connect");
+    for (i, bound) in [100u64, 40, 170, 90].into_iter().enumerate() {
+        let attr = (i % 2) as u32;
+        let reply = client
+            .select(i as u64, Predicate::cmp(attr, ComparisonOp::Lt, bound))
+            .expect("select");
+        assert_eq!(reply.tuples.len(), bound as usize);
+    }
+    // A cross-shard footprint too: PRKB(MD) over both attributes commits
+    // one WAL record on each owning shard.
+    let dims = vec![
+        [
+            Predicate::cmp(0, ComparisonOp::Gt, 30),
+            Predicate::cmp(0, ComparisonOp::Lt, 120),
+        ],
+        [
+            Predicate::cmp(1, ComparisonOp::Gt, 10),
+            Predicate::cmp(1, ComparisonOp::Lt, 200),
+        ],
+    ];
+    client.select_range_md(9, dims).expect("md select");
+    client.shutdown().expect("shutdown (drains every shard)");
+    let report = handle.join().expect("join");
+    let (k0_live, k1_live) = report.inspect(|e| {
+        (
+            e.knowledge(0).expect("attr 0").k(),
+            e.knowledge(1).expect("attr 1").k(),
+        )
+    });
+    assert!(k0_live > 1, "queries refined attr 0 (k = {k0_live})");
+    drop(report);
+
+    // Reopen: the manifest pins the shard count and every shard's WAL
+    // replays its own committed history.
+    let pool = ShardedDurablePool::<Predicate>::open(
+        &dir.0,
+        EngineConfig::default(),
+        ShardMap::new(1), // ignored: manifest wins
+    )
+    .expect("reopen pool");
+    assert_eq!(pool.map().shards(), 4);
+    let mut k_disk = (0, 0);
+    for sid in 0..4 {
+        let engine = pool.shard_engine(sid);
+        if let Some(kb) = engine.knowledge(0) {
+            k_disk.0 = kb.k();
+        }
+        if let Some(kb) = engine.knowledge(1) {
+            k_disk.1 = kb.k();
+        }
+    }
+    assert_eq!(
+        k_disk,
+        (k0_live, k1_live),
+        "no committed refinement lost to restart"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Error paths and metrics
 // ---------------------------------------------------------------------------
@@ -419,7 +493,10 @@ fn metrics_snapshot_travels_the_wire() {
         .expect("select");
 
     let json = client.metrics().expect("metrics");
-    assert!(json.contains("\"schema\":\"prkb-metrics/v1\""), "{json}");
+    assert!(json.contains("\"schema\":\"prkb-metrics/v2\""), "{json}");
+    assert!(json.contains("\"shards\":"), "{json}");
+    assert!(json.contains("\"group_commit_fsyncs\""), "{json}");
+    assert!(json.contains("\"shard_lock_wait_us\""), "{json}");
     assert!(json.contains("\"server_requests\""), "{json}");
     assert!(json.contains("\"server_bytes\""), "{json}");
     assert!(json.contains("\"frame_errors\""), "{json}");
