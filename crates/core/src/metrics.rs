@@ -7,11 +7,13 @@
 //! zero-dependency and cheap: every counter is a relaxed [`AtomicU64`]
 //! increment (~1 ns, no locks, no allocation), so leaving the registry
 //! unread costs nothing measurable. Snapshots ([`MetricsSnapshot`]) render
-//! to a stable, hand-rolled JSON schema (`prkb-metrics/v2`) suitable for
+//! to a stable, hand-rolled JSON schema (`prkb-metrics/v3`) suitable for
 //! dashboards and CI artifacts.
 //!
-//! Schema history: **v2** added the `shards` header field (the sharded
-//! engine-pool topology, see [`MetricsRegistry::set_shards`]), the
+//! Schema history: **v3** added the service-resilience counters
+//! (`busy_rejections`, `deadline_timeouts`, `net_retries`, `dedup_hits`,
+//! `net_faults_injected`); **v2** added the `shards` header field (the
+//! sharded engine-pool topology, see [`MetricsRegistry::set_shards`]), the
 //! `group_commit_*` counters, and the `shard_lock_wait_us` histogram; v1
 //! counter and histogram names are unchanged — names never change meaning,
 //! new names only append.
@@ -23,7 +25,7 @@
 //! reg.add(metrics::Metric::QueriesComparison, 1);
 //! let snap = reg.snapshot();
 //! assert!(snap.counter("queries_comparison").unwrap() >= 1);
-//! assert!(snap.to_json().starts_with("{\"schema\":\"prkb-metrics/v2\""));
+//! assert!(snap.to_json().starts_with("{\"schema\":\"prkb-metrics/v3\""));
 //! ```
 
 use crate::selection::QueryStats;
@@ -31,10 +33,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Number of counter metrics (length of [`Metric::ALL`]).
-const COUNTER_COUNT: usize = 30;
+const COUNTER_COUNT: usize = 35;
 
 /// Every counter the registry tracks. Names (via [`Metric::name`]) are part
-/// of the `prkb-metrics/v2` JSON schema: never rename, only append.
+/// of the `prkb-metrics/v3` JSON schema: never rename, only append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// Single-comparison selections processed by the engine.
@@ -102,6 +104,21 @@ pub enum Metric {
     /// fsyncs issued by group-commit flushes (`records / fsyncs` is the
     /// amortization factor the sharded pool exists for).
     GroupCommitFsyncs,
+    /// Connections shed with `BUSY` by the server's admission gate instead
+    /// of queueing beyond its bound.
+    BusyRejections,
+    /// Requests that exceeded their `deadline_ms` budget and were answered
+    /// with `DEADLINE` (checked at scheduler checkout and between oracle
+    /// batches).
+    DeadlineTimeouts,
+    /// Wire-level attempts retried by a `PrkbClient` retry policy
+    /// (reconnects after transport faults, `BUSY`, or frame damage).
+    NetRetries,
+    /// Requests answered by replaying a committed response from the
+    /// server's idempotency window instead of re-executing.
+    DedupHits,
+    /// Network faults injected by the chaos harness (test/chaos runs).
+    NetFaultsInjected,
 }
 
 impl Metric {
@@ -137,6 +154,11 @@ impl Metric {
         Metric::GroupCommitBatches,
         Metric::GroupCommitRecords,
         Metric::GroupCommitFsyncs,
+        Metric::BusyRejections,
+        Metric::DeadlineTimeouts,
+        Metric::NetRetries,
+        Metric::DedupHits,
+        Metric::NetFaultsInjected,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -172,6 +194,11 @@ impl Metric {
             Metric::GroupCommitBatches => "group_commit_batches",
             Metric::GroupCommitRecords => "group_commit_records",
             Metric::GroupCommitFsyncs => "group_commit_fsyncs",
+            Metric::BusyRejections => "busy_rejections",
+            Metric::DeadlineTimeouts => "deadline_timeouts",
+            Metric::NetRetries => "net_retries",
+            Metric::DedupHits => "dedup_hits",
+            Metric::NetFaultsInjected => "net_faults_injected",
         }
     }
 
@@ -334,7 +361,7 @@ impl MetricsRegistry {
     }
 
     /// Publishes the engine-pool shard count into the snapshot header
-    /// (`"shards"` in `prkb-metrics/v2`). A gauge, not a counter: set at
+    /// (`"shards"` in `prkb-metrics/v3`). A gauge, not a counter: set at
     /// pool construction, untouched by [`reset`](Self::reset).
     pub fn set_shards(&self, n: u64) {
         self.shards.store(n, Ordering::Relaxed);
@@ -437,7 +464,7 @@ pub fn global() -> &'static MetricsRegistry {
     GLOBAL.get_or_init(MetricsRegistry::new)
 }
 
-/// A point-in-time copy of the registry, renderable as `prkb-metrics/v2`
+/// A point-in-time copy of the registry, renderable as `prkb-metrics/v3`
 /// JSON.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -467,10 +494,10 @@ impl MetricsSnapshot {
             .map(|(_, b)| b.as_slice())
     }
 
-    /// Renders the stable `prkb-metrics/v2` JSON document:
+    /// Renders the stable `prkb-metrics/v3` JSON document:
     ///
     /// ```json
-    /// {"schema":"prkb-metrics/v2",
+    /// {"schema":"prkb-metrics/v3",
     ///  "shards":8,
     ///  "counters":{"queries_comparison":3,...},
     ///  "histograms":{"qpf_per_query":[0,1,2],...}}
@@ -478,11 +505,12 @@ impl MetricsSnapshot {
     ///
     /// Counter names never change meaning; new names may be appended.
     /// Histogram arrays are log₂ buckets (index 0 = value 0, index i =
-    /// values in `[2^(i-1), 2^i)`), trailing zeros trimmed. v2 added the
-    /// `shards` header field and the group-commit/shard-wait metrics; v1
-    /// documents differ only by schema tag and the absent header field.
+    /// values in `[2^(i-1), 2^i)`), trailing zeros trimmed. v3 added the
+    /// service-resilience counters; v2 added the `shards` header field and
+    /// the group-commit/shard-wait metrics; v1 documents differ only by
+    /// schema tag and the absent header field.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"schema\":\"prkb-metrics/v2\",\"shards\":");
+        let mut s = String::from("{\"schema\":\"prkb-metrics/v3\",\"shards\":");
         s.push_str(&self.shards.to_string());
         s.push_str(",\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -580,7 +608,7 @@ mod tests {
         reg.record_fault_events(1, 0, 2, 3);
         reg.set_shards(8);
         let json = reg.snapshot().to_json();
-        assert!(json.starts_with("{\"schema\":\"prkb-metrics/v2\",\"shards\":8,\"counters\":{"));
+        assert!(json.starts_with("{\"schema\":\"prkb-metrics/v3\",\"shards\":8,\"counters\":{"));
         assert!(json.contains("\"inserts\":1"));
         assert!(json.contains("\"inserts_parked\":1"));
         assert!(json.contains("\"insert_qpf_uses\":6"));
@@ -589,6 +617,11 @@ mod tests {
         assert!(json.contains("\"oracle_retries\":1"));
         assert!(json.contains("\"fast_fails\":2"));
         assert!(json.contains("\"faults_injected\":3"));
+        assert!(json.contains("\"busy_rejections\":0"));
+        assert!(json.contains("\"deadline_timeouts\":0"));
+        assert!(json.contains("\"net_retries\":0"));
+        assert!(json.contains("\"dedup_hits\":0"));
+        assert!(json.contains("\"net_faults_injected\":0"));
         assert!(json.contains("\"wal_txn_bytes\":[0,0,0,0,0,0,0,1]"));
         assert!(json.ends_with("}}"));
     }

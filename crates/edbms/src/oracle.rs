@@ -56,6 +56,12 @@ pub enum OracleError {
     /// A non-recoverable protocol error (tuple/attribute out of range,
     /// trapdoor for the wrong table, malformed batch).
     Fatal(String),
+    /// The caller's deadline budget expired before (or between) evaluation
+    /// batches. Not retryable on the same budget: the deadline belongs to
+    /// the request, and re-running the same doomed work cannot meet it.
+    /// Raised by deadline-propagating wrappers (e.g. the server's
+    /// per-request budget), never by the trusted machine itself.
+    DeadlineExceeded,
 }
 
 impl OracleError {
@@ -74,6 +80,7 @@ impl OracleError {
             OracleError::Corruption(_) => 3,
             OracleError::Unavailable { .. } => 4,
             OracleError::Fatal(_) => 5,
+            OracleError::DeadlineExceeded => 6,
         }
     }
 }
@@ -91,6 +98,7 @@ impl fmt::Display for OracleError {
                 )
             }
             OracleError::Fatal(what) => write!(f, "fatal oracle error: {what}"),
+            OracleError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }

@@ -27,8 +27,11 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
 
 /// SplitMix64 finalizer: a cheap, well-mixed hash for deterministic
-/// per-call fault/jitter schedules.
-fn mix(mut z: u64) -> u64 {
+/// per-call fault/jitter schedules. Public because every seeded-fault
+/// harness in the workspace (oracle faults, network chaos, client backoff
+/// jitter) derives its schedule from the same mixer, so one seed reproduces
+/// one run everywhere.
+pub fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -1,20 +1,41 @@
-//! Blocking loopback client for the `prkb-wire/v1` protocol.
+//! Blocking client for the `prkb-wire/v1` protocol, with a resilience
+//! layer.
 //!
-//! One [`PrkbClient`] wraps one TCP connection; every method sends one
-//! request frame and blocks for the matching response frame. The client is
-//! deliberately dumb — no retries, no pooling — because its job is to be a
-//! *reference peer*: the loopback equivalence tests drive the server through
-//! it and compare against the in-process engine byte for byte.
+//! One [`PrkbClient`] wraps one TCP connection at a time; every method
+//! sends one request frame and blocks for the matching response frame. Two
+//! jobs coexist here:
+//!
+//! * **Reference peer.** The loopback equivalence tests drive the server
+//!   through this client and compare against the in-process engine byte
+//!   for byte. With a pinned [`ClientConfig::rid_seed`] the request path
+//!   is fully deterministic.
+//! * **Surviving a hostile network.** Every call carries a client-generated
+//!   request id and an optional deadline budget
+//!   ([`ClientConfig::deadline_ms`]); transport failures and transient
+//!   server codes (BUSY, FRAME, oracle transient/timeout) are retried with
+//!   the same deterministic backoff discipline as
+//!   [`prkb_edbms::resilience::RetryOracle`] — reconnecting first, reusing
+//!   the *same* request id so the server's dedup window makes the retry
+//!   exactly-once. A circuit breaker fast-fails with
+//!   [`ClientError::CircuitOpen`] after repeated exhaustion, mirroring
+//!   `RetryOracle`'s CLOSED/OPEN/HALF_OPEN discipline.
+//!
+//! Sockets always carry read/connect/write timeouts (defaults in
+//! [`ClientConfig`]): a dead or stalled server surfaces
+//! [`ClientError::TimedOut`] instead of blocking a caller forever,
+//! independent of whether retries are enabled.
 
-use crate::proto::{ProtoError, Request, Response};
+use crate::proto::{code, ProtoError, Request, RequestHeader, Response};
 use crate::wire::{write_frame, FrameError, FrameReader, ReadStep};
 use prkb_core::snapshot::WireCodec;
 use prkb_core::{InsertOutcome, QueryStats};
+use prkb_edbms::resilience::{mix, RetryPolicy};
 use prkb_edbms::{AttrId, TupleId};
 use std::fmt;
 use std::io;
 use std::marker::PhantomData;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Failures a client call can produce.
 #[derive(Debug)]
@@ -36,6 +57,11 @@ pub enum ClientError {
     Unexpected(&'static str),
     /// The server closed the connection instead of responding.
     ConnectionClosed,
+    /// No response within [`ClientConfig::read_timeout`].
+    TimedOut,
+    /// The circuit breaker is open: recent calls exhausted their retries,
+    /// so this one fast-failed without touching the network.
+    CircuitOpen,
 }
 
 impl fmt::Display for ClientError {
@@ -49,6 +75,8 @@ impl fmt::Display for ClientError {
             }
             ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
             ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+            ClientError::TimedOut => write!(f, "no response within the read timeout"),
+            ClientError::CircuitOpen => write!(f, "circuit breaker open: fast-failing"),
         }
     }
 }
@@ -73,6 +101,43 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// Client tunables: timeouts, retry policy, request-id stream.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect budget per attempt.
+    pub connect_timeout: Duration,
+    /// End-to-end budget for one response (poll ticks re-check it).
+    pub read_timeout: Duration,
+    /// Per-frame write budget.
+    pub write_timeout: Duration,
+    /// Frame payload cap (mirror of the server's).
+    pub max_frame_len: u32,
+    /// Retry/backoff/breaker discipline (reused from
+    /// [`prkb_edbms::resilience`]). `max_attempts: 1` disables retrying.
+    pub retry: RetryPolicy,
+    /// `deadline_ms` stamped on every request header (0 = no deadline).
+    pub deadline_ms: u32,
+    /// Seed for the deterministic request-id stream. 0 (the default)
+    /// draws a random seed per connection, so independent clients never
+    /// collide in the server's dedup window; tests pin it for
+    /// reproducibility.
+    pub rid_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: crate::wire::DEFAULT_MAX_FRAME_LEN,
+            retry: RetryPolicy::default(),
+            deadline_ms: 0,
+            rid_seed: 0,
+        }
+    }
+}
+
 /// A committed selection as seen over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectionReply {
@@ -93,39 +158,268 @@ impl SelectionReply {
     }
 }
 
-/// Blocking client over one connection (see the module docs).
+/// Circuit-breaker states.
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// Per-client breaker mirroring [`RetryOracle`]'s discipline: trip after
+/// `trip_after` consecutive exhausted calls, fast-fail `cooldown_calls`,
+/// then let one half-open probe through.
+///
+/// [`RetryOracle`]: prkb_edbms::resilience::RetryOracle
+struct Breaker {
+    state: u8,
+    consecutive_exhausted: u32,
+    open_calls_left: u32,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: CLOSED,
+            consecutive_exhausted: 0,
+            open_calls_left: 0,
+        }
+    }
+
+    fn gate(&mut self, policy: &RetryPolicy) -> Result<(), ClientError> {
+        if policy.trip_after == 0 || self.state != OPEN {
+            return Ok(());
+        }
+        if self.open_calls_left > 0 {
+            self.open_calls_left -= 1;
+            return Err(ClientError::CircuitOpen);
+        }
+        self.state = HALF_OPEN; // cooldown spent: probe
+        Ok(())
+    }
+
+    fn record(&mut self, policy: &RetryPolicy, ok: bool) {
+        if policy.trip_after == 0 {
+            return;
+        }
+        if ok {
+            self.consecutive_exhausted = 0;
+            self.state = CLOSED;
+        } else {
+            self.consecutive_exhausted += 1;
+            let probing = self.state == HALF_OPEN;
+            if probing || self.consecutive_exhausted >= policy.trip_after {
+                self.state = OPEN;
+                self.open_calls_left = policy.cooldown_calls;
+            }
+        }
+    }
+}
+
+/// Blocking client over one connection at a time (see the module docs).
 pub struct PrkbClient<P> {
-    stream: TcpStream,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
     reader: FrameReader,
-    max_frame_len: u32,
+    config: ClientConfig,
+    rid_seed: u64,
+    rid_counter: u64,
+    backoffs: u64,
+    retries: u64,
+    breaker: Breaker,
     _pred: PhantomData<P>,
 }
 
 impl<P: WireCodec> PrkbClient<P> {
-    /// Connects with the default frame cap.
+    /// Connects with default timeouts and retry policy.
     ///
     /// # Errors
     /// Socket connect failure.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(PrkbClient {
-            stream,
-            reader: FrameReader::new(),
-            max_frame_len: crate::wire::DEFAULT_MAX_FRAME_LEN,
-            _pred: PhantomData,
-        })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    fn call(&mut self, req: &Request<P>) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
+    /// Connects with explicit tunables. The TCP connection is established
+    /// eagerly so configuration errors surface here, not on first use.
+    ///
+    /// # Errors
+    /// Address resolution or socket connect failure.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(io::Error::other("address resolved to nothing")))?;
+        let rid_seed = if config.rid_seed != 0 {
+            config.rid_seed
+        } else {
+            // Unique per client: two clients must never share a request-id
+            // stream, or the server's dedup window would cross their wires.
+            entropy_seed()
+        };
+        let mut client = PrkbClient {
+            addr,
+            stream: None,
+            reader: FrameReader::new(),
+            config,
+            rid_seed,
+            rid_counter: 0,
+            backoffs: 0,
+            retries: 0,
+            breaker: Breaker::new(),
+            _pred: PhantomData,
+        };
+        client.establish()?;
+        Ok(client)
+    }
+
+    /// Transport retries performed so far (reconnect + resend).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Ensures a live connection, dialing (with timeouts armed) if needed.
+    fn establish(&mut self) -> Result<(), ClientError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        // Poll-tick reads: the overall read budget is enforced per call,
+        // the short socket timeout just keeps the loop responsive.
+        let tick = self
+            .config
+            .read_timeout
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
+        stream.set_read_timeout(Some(tick))?;
+        stream.set_write_timeout(Some(
+            self.config.write_timeout.max(Duration::from_millis(1)),
+        ))?;
+        self.stream = Some(stream);
+        self.reader = FrameReader::new();
+        Ok(())
+    }
+
+    /// Drops the connection so the next attempt redials from scratch.
+    fn disconnect(&mut self) {
+        self.stream = None;
+        self.reader = FrameReader::new();
+    }
+
+    /// The next non-zero request id from this client's deterministic
+    /// stream.
+    fn next_rid(&mut self) -> u64 {
         loop {
-            match self.reader.poll(&mut self.stream, self.max_frame_len)? {
+            self.rid_counter += 1;
+            let rid = mix(self.rid_seed ^ self.rid_counter);
+            if rid != 0 {
+                return rid;
+            }
+        }
+    }
+
+    /// One wire round trip: write the payload, read one response frame.
+    fn call_once(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        self.establish()?;
+        let stream = self.stream.as_mut().expect("established above");
+        write_frame(stream, payload)?;
+        let deadline = Instant::now() + self.config.read_timeout;
+        loop {
+            match self.reader.poll(stream, self.config.max_frame_len)? {
                 ReadStep::Frame { payload, .. } => return Ok(Response::decode(&payload)?),
                 ReadStep::Closed => return Err(ClientError::ConnectionClosed),
-                // The client socket has no read timeout, but be robust to
-                // one having been set on the fd by the environment.
-                ReadStep::Idle | ReadStep::Stalled => continue,
+                ReadStep::Idle | ReadStep::Stalled => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::TimedOut);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirror of [`RetryOracle`]'s deterministic jittered backoff.
+    ///
+    /// [`RetryOracle`]: prkb_edbms::resilience::RetryOracle
+    fn backoff(&mut self, attempt: u32) {
+        let policy = &self.config.retry;
+        if policy.base_delay.is_zero() {
+            return;
+        }
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        let exp = policy.base_delay.saturating_mul(factor);
+        let capped = exp.min(policy.max_delay).max(policy.base_delay);
+        let n = self.backoffs;
+        self.backoffs += 1;
+        let j = mix(policy.jitter_seed ^ n) % 1000;
+        let nanos = capped.as_nanos() as u64;
+        let jittered = nanos / 2 + (nanos / 2 / 1000) * j;
+        std::thread::sleep(Duration::from_nanos(jittered));
+    }
+
+    /// A server code worth retrying: overload shedding, lost framing, and
+    /// the oracle's transient/timeout classes. DEADLINE is *not* here — the
+    /// budget is spent; retrying on the same budget would spin.
+    fn retryable_code(c: u16) -> bool {
+        c == code::BUSY
+            || c == code::FRAME
+            || c == code::ORACLE_BASE + 1
+            || c == code::ORACLE_BASE + 2
+    }
+
+    fn retryable_transport(e: &ClientError) -> bool {
+        matches!(
+            e,
+            ClientError::Io(_)
+                | ClientError::Frame(_)
+                | ClientError::ConnectionClosed
+                | ClientError::TimedOut
+        )
+    }
+
+    /// Sends `req` under the retry discipline. `idempotent` requests get a
+    /// tracked request id (reused verbatim across attempts, so the
+    /// server's dedup window replays instead of re-committing); the header
+    /// also carries [`ClientConfig::deadline_ms`].
+    fn call(&mut self, req: &Request<P>, idempotent: bool) -> Result<Response, ClientError> {
+        self.breaker.gate(&self.config.retry)?;
+        let hdr = RequestHeader {
+            request_id: if idempotent { self.next_rid() } else { 0 },
+            deadline_ms: self.config.deadline_ms,
+        };
+        let payload = req.encode_with(hdr);
+        let attempts = self.config.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            match self.call_once(&payload) {
+                Ok(Response::Error { code, message }) => {
+                    if Self::retryable_code(code) && attempt < attempts {
+                        // BUSY and FRAME closed the connection server-side;
+                        // redial either way so the retry starts clean.
+                        self.disconnect();
+                        self.retries += 1;
+                        self.backoff(attempt);
+                        attempt += 1;
+                        continue;
+                    }
+                    // A structured error still proves the server is alive.
+                    self.breaker.record(&self.config.retry, true);
+                    return Ok(Response::Error { code, message });
+                }
+                Ok(resp) => {
+                    self.breaker.record(&self.config.retry, true);
+                    return Ok(resp);
+                }
+                Err(e) if Self::retryable_transport(&e) && attempt < attempts => {
+                    self.disconnect();
+                    self.retries += 1;
+                    self.backoff(attempt);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.disconnect();
+                    self.breaker.record(&self.config.retry, false);
+                    return Err(e);
+                }
             }
         }
     }
@@ -142,7 +436,7 @@ impl<P: WireCodec> PrkbClient<P> {
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        match self.call(&Request::Ping)? {
+        match self.call(&Request::Ping, false)? {
             Response::Ok => Ok(()),
             other => Err(err_of(other, "pong")),
         }
@@ -154,7 +448,7 @@ impl<P: WireCodec> PrkbClient<P> {
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.
     pub fn select(&mut self, seed: u64, pred: P) -> Result<SelectionReply, ClientError> {
-        let resp = self.call(&Request::Select { seed, pred })?;
+        let resp = self.call(&Request::Select { seed, pred }, true)?;
         Self::expect_selection(resp)
     }
 
@@ -163,7 +457,7 @@ impl<P: WireCodec> PrkbClient<P> {
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.
     pub fn between(&mut self, seed: u64, pred: P) -> Result<SelectionReply, ClientError> {
-        let resp = self.call(&Request::Between { seed, pred })?;
+        let resp = self.call(&Request::Between { seed, pred }, true)?;
         Self::expect_selection(resp)
     }
 
@@ -177,11 +471,13 @@ impl<P: WireCodec> PrkbClient<P> {
         seed: u64,
         dims: Vec<[P; 2]>,
     ) -> Result<SelectionReply, ClientError> {
-        let resp = self.call(&Request::SelectRangeMd { seed, dims })?;
+        let resp = self.call(&Request::SelectRangeMd { seed, dims }, true)?;
         Self::expect_selection(resp)
     }
 
     /// Routes an already-uploaded tuple into every indexed attribute.
+    /// Retries are exactly-once: the request id makes a replayed commit a
+    /// dedup-window hit, not a second commit.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.
@@ -189,44 +485,64 @@ impl<P: WireCodec> PrkbClient<P> {
         &mut self,
         tuple: TupleId,
     ) -> Result<(u64, Vec<(AttrId, InsertOutcome)>), ClientError> {
-        match self.call(&Request::Insert { tuple })? {
+        match self.call(&Request::Insert { tuple }, true)? {
             Response::Inserted { seq, outcomes } => Ok((seq, outcomes)),
             other => Err(err_of(other, "insert outcomes")),
         }
     }
 
-    /// Removes a tuple from every indexed attribute.
+    /// Removes a tuple from every indexed attribute (exactly-once under
+    /// retry, like [`insert`](Self::insert)).
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.
     pub fn delete(&mut self, tuple: TupleId) -> Result<u64, ClientError> {
-        match self.call(&Request::Delete { tuple })? {
+        match self.call(&Request::Delete { tuple }, true)? {
             Response::Deleted { seq } => Ok(seq),
             other => Err(err_of(other, "delete ack")),
         }
     }
 
-    /// Fetches the server's `prkb-metrics/v2` JSON snapshot.
+    /// Fetches the server's `prkb-metrics/v3` JSON snapshot.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        match self.call(&Request::MetricsSnapshot)? {
+        match self.call(&Request::MetricsSnapshot, false)? {
             Response::Metrics { json } => Ok(json),
             other => Err(err_of(other, "metrics")),
         }
     }
 
     /// Asks the server to drain and stop, consuming this connection.
+    /// Never retried: a lost ack is indistinguishable from a server that
+    /// drained and closed, and re-sending to a draining server only
+    /// produces noise.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.
     pub fn shutdown(mut self) -> Result<(), ClientError> {
-        match self.call(&Request::Shutdown)? {
+        let payload = Request::<P>::Shutdown.encode();
+        match self.call_once(&payload)? {
             Response::Ok => Ok(()),
             other => Err(err_of(other, "shutdown ack")),
         }
     }
+}
+
+/// A process-unique, time-salted seed for the request-id stream. Not
+/// cryptographic — it only has to keep independent clients' id streams
+/// from colliding inside one server's bounded dedup window.
+fn entropy_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = u64::from(std::process::id());
+    mix(nanos ^ n.rotate_left(32) ^ pid.rotate_left(17)) | 1
 }
 
 fn err_of(resp: Response, wanted: &'static str) -> ClientError {

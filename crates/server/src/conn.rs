@@ -3,7 +3,7 @@
 //! Each accepted socket is served by one worker thread: frames are read
 //! incrementally (poll ticks double as shutdown/idle-deadline checks),
 //! every frame payload decodes into one [`Request`], and exactly one
-//! [`Response`] frame is written back. Failure handling is two-tier,
+//! response frame is written back. Failure handling is two-tier,
 //! mirroring the WAL's trust model:
 //!
 //! * **frame damage** (bad CRC, oversized length, truncation) destroys
@@ -17,7 +17,17 @@
 //! would trip engine programmer-error assertions (duplicate MD dimensions,
 //! mismatched dimension attributes, out-of-range tuple ids) are rejected
 //! here, before dispatch.
+//!
+//! The resilience header rides on every request (PR 7): a non-zero
+//! `deadline_ms` becomes an absolute [`Instant`] budget threaded into the
+//! backend (checkout waits and oracle batches both honour it — expiry
+//! answers [`code::DEADLINE`] and leaves the KB untouched), and a non-zero
+//! `request_id` consults the server-global [`DedupWindow`] so a retried
+//! mutation replays its original response bytes instead of committing
+//! twice. Writes are bounded by a per-stream write timeout: one stuck
+//! reader costs a worker at most that long per frame, not forever.
 
+use crate::admission::{DedupClaim, DedupWindow};
 use crate::proto::{code, Request, Response};
 use crate::scheduler::Backend;
 use crate::wire::{write_frame, FrameReader, ReadStep};
@@ -31,7 +41,7 @@ use std::collections::HashSet;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Once, RwLock};
 use std::time::{Duration, Instant};
 
 /// State shared between the accept loop and every connection worker.
@@ -50,12 +60,23 @@ pub(crate) struct Shared<P: SpPredicate + WireCodec, O> {
     pub poll_tick: Duration,
     /// Close connections idle longer than this.
     pub idle_deadline: Duration,
+    /// Per-frame write budget: a peer that stops reading costs a worker at
+    /// most this long before the connection is dropped.
+    pub write_timeout: Duration,
+    /// Request-id → response memo for idempotent retries.
+    pub dedup: DedupWindow,
     /// Served requests (every decoded frame counts, errors included).
     pub requests: AtomicU64,
     /// Wire bytes in + out.
     pub bytes: AtomicU64,
     /// Stream-fatal framing failures.
     pub frame_errors: AtomicU64,
+    /// Connections shed with BUSY at the admission gate.
+    pub busy_rejections: AtomicU64,
+    /// Requests answered with [`code::DEADLINE`].
+    pub deadline_timeouts: AtomicU64,
+    /// Requests answered from the dedup window instead of re-executing.
+    pub dedup_hits: AtomicU64,
     /// The listener's own address — connected-to once to wake the blocking
     /// accept loop when shutdown is triggered.
     pub wake_addr: std::net::SocketAddr,
@@ -63,10 +84,22 @@ pub(crate) struct Shared<P: SpPredicate + WireCodec, O> {
 
 impl<P: SpPredicate + WireCodec, O> Shared<P, O> {
     /// Flips the shutdown flag and pokes the accept loop awake so it can
-    /// observe the flag instead of blocking in `accept` forever.
+    /// observe the flag immediately instead of on its next poll tick.
     pub(crate) fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect_timeout(&self.wake_addr, Duration::from_secs(1));
+        if let Err(e) = TcpStream::connect_timeout(&self.wake_addr, Duration::from_secs(1)) {
+            // The poke is an accelerator, not a correctness requirement:
+            // the accept loop re-checks the flag on every poll tick. Say
+            // so once rather than failing silently.
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "prkb-server: shutdown wake poke to {} failed ({e}); \
+                     accept loop will notice on its next poll tick",
+                    self.wake_addr
+                );
+            });
+        }
     }
 }
 
@@ -77,6 +110,12 @@ where
     O: SelectionOracle<Pred = P>,
 {
     if stream.set_read_timeout(Some(shared.poll_tick)).is_err() {
+        return;
+    }
+    if stream
+        .set_write_timeout(Some(shared.write_timeout.max(Duration::from_millis(1))))
+        .is_err()
+    {
         return;
     }
     let mut reader = FrameReader::new();
@@ -98,8 +137,8 @@ where
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 metrics::global().add(Metric::ServerRequests, 1);
 
-                let (resp, close) = handle(shared, &payload);
-                if respond(shared, &mut stream, &resp).is_err() || close {
+                let (resp, close) = process(shared, &payload);
+                if respond_bytes(shared, &mut stream, &resp).is_err() || close {
                     return;
                 }
             }
@@ -118,7 +157,7 @@ where
                     code: code::FRAME,
                     message: e.to_string(),
                 };
-                let _ = respond(shared, &mut stream, &resp);
+                let _ = respond_bytes(shared, &mut stream, &resp.encode());
                 let _ = stream.flush();
                 return;
             }
@@ -126,43 +165,110 @@ where
     }
 }
 
-fn respond<P: SpPredicate + WireCodec, O>(
+fn respond_bytes<P: SpPredicate + WireCodec, O>(
     shared: &Shared<P, O>,
     stream: &mut TcpStream,
-    resp: &Response,
+    payload: &[u8],
 ) -> std::io::Result<()> {
-    let payload = resp.encode();
     let wire_len = (payload.len() + crate::wire::FRAME_HEADER_LEN) as u64;
     shared.bytes.fetch_add(wire_len, Ordering::Relaxed);
     metrics::global().add(Metric::ServerBytes, wire_len);
-    write_frame(stream, &payload)
+    write_frame(stream, payload)
 }
 
-/// Decodes and dispatches one request payload. Returns the response and
-/// whether the connection must close afterwards.
-fn handle<P, O>(shared: &Shared<P, O>, payload: &[u8]) -> (Response, bool)
+/// Decodes one request payload, applies the resilience header (deadline
+/// budget, idempotent-replay window), and dispatches. Returns the encoded
+/// response payload and whether the connection must close afterwards.
+fn process<P, O>(shared: &Shared<P, O>, payload: &[u8]) -> (Arc<Vec<u8>>, bool)
 where
     P: SpPredicate + WireCodec,
     O: SelectionOracle<Pred = P>,
 {
-    let req = match Request::<P>::decode(payload) {
-        Ok(req) => req,
+    let (hdr, req) = match Request::<P>::decode(payload) {
+        Ok(decoded) => decoded,
         Err(e) => {
-            return (
-                Response::Error {
-                    code: e.wire_code(),
-                    message: e.to_string(),
-                },
-                false,
-            );
+            let resp = Response::Error {
+                code: e.wire_code(),
+                message: e.to_string(),
+            };
+            return (Arc::new(resp.encode()), false);
         }
     };
+    let deadline = (hdr.deadline_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(u64::from(hdr.deadline_ms)));
+
+    // Only engine operations are tracked: Ping/Metrics/Shutdown have no
+    // commit to protect and their responses are not worth memoizing.
+    let tracked = hdr.request_id != 0
+        && matches!(
+            req,
+            Request::Select { .. }
+                | Request::Between { .. }
+                | Request::SelectRangeMd { .. }
+                | Request::Insert { .. }
+                | Request::Delete { .. }
+        );
+    if !tracked {
+        let (resp, close) = handle(shared, req, deadline);
+        observe_deadline(shared, &resp);
+        return (Arc::new(resp.encode()), close);
+    }
+
+    match shared.dedup.begin(hdr.request_id) {
+        DedupClaim::Replay(bytes) => {
+            shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            metrics::global().add(Metric::DedupHits, 1);
+            (bytes, false)
+        }
+        DedupClaim::Execute(claim) => {
+            let (resp, close) = handle(shared, req, deadline);
+            observe_deadline(shared, &resp);
+            let bytes = Arc::new(resp.encode());
+            // Memoize only committed outcomes. An error releases the id
+            // (claim drops → abort) so the client's retry re-executes.
+            if matches!(
+                resp,
+                Response::Selection { .. } | Response::Inserted { .. } | Response::Deleted { .. }
+            ) {
+                claim.complete(Arc::clone(&bytes));
+            }
+            (bytes, close)
+        }
+        // begin() returns Untracked only for rid 0, excluded above.
+        DedupClaim::Untracked => unreachable!("tracked path requires request_id != 0"),
+    }
+}
+
+fn observe_deadline<P: SpPredicate + WireCodec, O>(shared: &Shared<P, O>, resp: &Response) {
+    if matches!(
+        resp,
+        Response::Error {
+            code: code::DEADLINE,
+            ..
+        }
+    ) {
+        shared.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+        metrics::global().add(Metric::DeadlineTimeouts, 1);
+    }
+}
+
+/// Dispatches one decoded request. Returns the response and whether the
+/// connection must close afterwards.
+fn handle<P, O>(
+    shared: &Shared<P, O>,
+    req: Request<P>,
+    deadline: Option<Instant>,
+) -> (Response, bool)
+where
+    P: SpPredicate + WireCodec,
+    O: SelectionOracle<Pred = P>,
+{
     match req {
         Request::Ping => (Response::Ok, false),
         Request::Select { seed, pred } | Request::Between { seed, pred } => {
             let oracle = read_oracle(&shared.oracle);
             let mut rng = StdRng::seed_from_u64(seed);
-            match shared.backend.select(&*oracle, &pred, &mut rng) {
+            match shared.backend.select(&*oracle, &pred, deadline, &mut rng) {
                 Ok((sel, seq)) => (
                     Response::Selection {
                         seq,
@@ -180,7 +286,10 @@ where
             }
             let oracle = read_oracle(&shared.oracle);
             let mut rng = StdRng::seed_from_u64(seed);
-            match shared.backend.select_range_md(&*oracle, &dims, &mut rng) {
+            match shared
+                .backend
+                .select_range_md(&*oracle, &dims, deadline, &mut rng)
+            {
                 Ok((sel, seq)) => (
                     Response::Selection {
                         seq,
@@ -205,12 +314,12 @@ where
                     false,
                 );
             }
-            match shared.backend.insert(&*oracle, tuple) {
+            match shared.backend.insert(&*oracle, tuple, deadline) {
                 Ok((outcomes, seq)) => (Response::Inserted { seq, outcomes }, false),
                 Err(e) => (error_of(&e), false),
             }
         }
-        Request::Delete { tuple } => match shared.backend.delete(tuple) {
+        Request::Delete { tuple } => match shared.backend.delete(tuple, deadline) {
             Ok(seq) => (Response::Deleted { seq }, false),
             Err(e) => (error_of(&e), false),
         },

@@ -14,9 +14,14 @@
 //! * [`proto`] — requests, responses, stable error codes;
 //! * [`scheduler`] — the checkout/checkin concurrency discipline: the
 //!   engine lock is held only to move knowledge, never while QPF is spent;
+//! * [`admission`] — the bounded admission gate (BUSY shedding) and the
+//!   idempotent-replay dedup window;
 //! * [`conn`] (private) — the per-connection serve loop;
 //! * [`server`] — accept loop, bounded worker pool, graceful drain;
-//! * [`client`] — the blocking reference client.
+//! * [`client`] — the blocking client: timeouts, deterministic retries
+//!   with exactly-once request ids, circuit breaker;
+//! * [`chaos`] — the deterministic network-fault harness
+//!   ([`chaos::ChaosProxy`], seeded by `PRKB_NET_FAULT_SEED`).
 //!
 //! ```no_run
 //! use prkb_core::{EngineConfig, PrkbEngine};
@@ -42,6 +47,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod chaos;
 pub mod client;
 mod conn;
 pub mod proto;
@@ -49,8 +56,10 @@ pub mod scheduler;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, PrkbClient, SelectionReply};
-pub use proto::{ProtoError, Request, Response, PROTO_VERSION};
-pub use scheduler::{Backend, ServeError, SessionOracle, SessionScheduler};
+pub use admission::QUEUE_ENV;
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStream, FaultAction, FaultPlan, NET_FAULT_SEED_ENV};
+pub use client::{ClientConfig, ClientError, PrkbClient, SelectionReply};
+pub use proto::{ProtoError, Request, RequestHeader, Response, PROTO_VERSION};
+pub use scheduler::{Backend, DeadlineOracle, ServeError, SessionOracle, SessionScheduler};
 pub use server::{PrkbServer, ServerConfig, ServerHandle, ServerReport};
 pub use wire::{FrameError, FrameReader, DEFAULT_MAX_FRAME_LEN};

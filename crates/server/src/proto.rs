@@ -1,6 +1,9 @@
 //! `prkb-wire/v1` request/response payloads.
 //!
-//! Every frame payload starts with `version u8 | tag u8`; bodies are
+//! Every frame payload starts with `version u8 | tag u8`; requests carry a
+//! resilience header right after (`request_id u64 | deadline_ms u32`, see
+//! [`RequestHeader`]) so retries can be deduplicated server-side and doomed
+//! work can be abandoned early. Bodies are
 //! little-endian, fixed-layout, and predicate-generic via
 //! [`WireCodec`] — the same trapdoor encoding the snapshot and WAL layers
 //! already speak, so a loopback deployment ([`prkb_edbms::Predicate`]) and a
@@ -48,6 +51,32 @@ pub mod code {
     pub const DRAINING: u16 = 60;
     /// Frame-level damage (reported back best-effort before closing).
     pub const FRAME: u16 = 70;
+    /// The admission gate shed this connection: worker pool and queue are
+    /// full. Retryable after backoff — nothing was executed.
+    pub const BUSY: u16 = 80;
+    /// The request's `deadline_ms` budget expired before it could commit.
+    /// The attribute footprint was released and the knowledge base is
+    /// untouched. Not retried automatically: the deadline was the caller's.
+    pub const DEADLINE: u16 = 81;
+}
+
+/// Per-request resilience header carried by every `prkb-wire/v1` request
+/// between the tag byte and the body: `request_id u64 | deadline_ms u32`.
+///
+/// * `request_id` — client-generated idempotency key. `0` means
+///   "untracked"; any other value lets the server deduplicate a retried
+///   request through its bounded idempotency window, replaying the
+///   committed response instead of re-executing.
+/// * `deadline_ms` — per-request budget in milliseconds, measured from the
+///   moment the server decodes the request. `0` means no deadline. Expired
+///   requests answer [`code::DEADLINE`] and leave the knowledge base
+///   untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestHeader {
+    /// Client-generated idempotency key (`0` = untracked).
+    pub request_id: u64,
+    /// Deadline budget in milliseconds (`0` = none).
+    pub deadline_ms: u32,
 }
 
 /// A decoded client request.
@@ -89,7 +118,7 @@ pub enum Request<P> {
         /// The tuple to forget.
         tuple: TupleId,
     },
-    /// Fetch the `prkb-metrics/v2` JSON snapshot.
+    /// Fetch the `prkb-metrics/v3` JSON snapshot.
     MetricsSnapshot,
     /// Graceful shutdown: drain in-flight queries, then stop.
     Shutdown,
@@ -121,7 +150,7 @@ pub enum Response {
         /// Global commit sequence number.
         seq: u64,
     },
-    /// The `prkb-metrics/v2` JSON document.
+    /// The `prkb-metrics/v3` JSON document.
     Metrics {
         /// The rendered snapshot.
         json: String,
@@ -228,23 +257,36 @@ fn finish(bytes: &[u8], pos: usize) -> Result<(), ProtoError> {
 // ---------------------------------------------------------------------------
 
 impl<P: WireCodec> Request<P> {
-    /// Encodes this request as one frame payload.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = vec![PROTO_VERSION];
+    fn tag(&self) -> u8 {
         match self {
-            Request::Ping => out.push(0),
-            Request::Select { seed, pred } => {
-                out.push(1);
-                out.extend_from_slice(&seed.to_le_bytes());
-                pred.encode_into(&mut out);
-            }
-            Request::Between { seed, pred } => {
-                out.push(2);
+            Request::Ping => 0,
+            Request::Select { .. } => 1,
+            Request::Between { .. } => 2,
+            Request::SelectRangeMd { .. } => 3,
+            Request::Insert { .. } => 4,
+            Request::Delete { .. } => 5,
+            Request::MetricsSnapshot => 6,
+            Request::Shutdown => 7,
+        }
+    }
+
+    /// Encodes this request with a default (untracked, undeadlined) header.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(RequestHeader::default())
+    }
+
+    /// Encodes this request as one frame payload carrying `hdr`.
+    pub fn encode_with(&self, hdr: RequestHeader) -> Vec<u8> {
+        let mut out = vec![PROTO_VERSION, self.tag()];
+        out.extend_from_slice(&hdr.request_id.to_le_bytes());
+        out.extend_from_slice(&hdr.deadline_ms.to_le_bytes());
+        match self {
+            Request::Ping | Request::MetricsSnapshot | Request::Shutdown => {}
+            Request::Select { seed, pred } | Request::Between { seed, pred } => {
                 out.extend_from_slice(&seed.to_le_bytes());
                 pred.encode_into(&mut out);
             }
             Request::SelectRangeMd { seed, dims } => {
-                out.push(3);
                 out.extend_from_slice(&seed.to_le_bytes());
                 out.extend_from_slice(&(dims.len() as u16).to_le_bytes());
                 for [lo, hi] in dims {
@@ -252,32 +294,30 @@ impl<P: WireCodec> Request<P> {
                     hi.encode_into(&mut out);
                 }
             }
-            Request::Insert { tuple } => {
-                out.push(4);
+            Request::Insert { tuple } | Request::Delete { tuple } => {
                 out.extend_from_slice(&tuple.to_le_bytes());
             }
-            Request::Delete { tuple } => {
-                out.push(5);
-                out.extend_from_slice(&tuple.to_le_bytes());
-            }
-            Request::MetricsSnapshot => out.push(6),
-            Request::Shutdown => out.push(7),
         }
         out
     }
 
-    /// Decodes one request payload.
+    /// Decodes one request payload into its resilience header and body.
     ///
     /// # Errors
     /// [`ProtoError`] on version mismatch, unknown tag, or structural
-    /// damage. Never panics, never over-allocates on lying counts.
-    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+    /// damage. Never panics, never over-allocates on lying counts; hostile
+    /// `request_id`/`deadline_ms` values are data, not errors.
+    pub fn decode(bytes: &[u8]) -> Result<(RequestHeader, Self), ProtoError> {
         let mut pos = 0usize;
         let ver = take_u8(bytes, &mut pos)?;
         if ver != PROTO_VERSION {
             return Err(ProtoError::UnsupportedVersion(ver));
         }
         let tag = take_u8(bytes, &mut pos)?;
+        let hdr = RequestHeader {
+            request_id: take_u64(bytes, &mut pos)?,
+            deadline_ms: take_u32(bytes, &mut pos)?,
+        };
         let req = match tag {
             0 => Request::Ping,
             1 | 2 => {
@@ -314,7 +354,7 @@ impl<P: WireCodec> Request<P> {
             t => return Err(ProtoError::UnknownTag(t)),
         };
         finish(bytes, pos)?;
-        Ok(req)
+        Ok((hdr, req))
     }
 }
 
@@ -493,7 +533,18 @@ mod tests {
 
     fn roundtrip_req(req: Request<Predicate>) {
         let bytes = req.encode();
-        assert_eq!(Request::decode(&bytes).expect("decode"), req);
+        let (hdr, decoded) = Request::decode(&bytes).expect("decode");
+        assert_eq!(hdr, RequestHeader::default());
+        assert_eq!(decoded, req);
+        // And with a non-trivial resilience header.
+        let hdr = RequestHeader {
+            request_id: 0xDEAD_BEEF_CAFE_F00D,
+            deadline_ms: 1_500,
+        };
+        let bytes = req.encode_with(hdr);
+        let (got_hdr, decoded) = Request::decode(&bytes).expect("decode with header");
+        assert_eq!(got_hdr, hdr);
+        assert_eq!(decoded, req);
     }
 
     fn roundtrip_resp(resp: Response) {
@@ -559,7 +610,7 @@ mod tests {
         });
         roundtrip_resp(Response::Deleted { seq: 5 });
         roundtrip_resp(Response::Metrics {
-            json: "{\"schema\":\"prkb-metrics/v2\"}".into(),
+            json: "{\"schema\":\"prkb-metrics/v3\"}".into(),
         });
         roundtrip_resp(Response::Error {
             code: code::MALFORMED,
@@ -603,9 +654,9 @@ mod tests {
             ]],
         };
         let mut bytes = req.encode();
-        // The u16 dim count sits after ver, tag, seed.
-        bytes[10] = 0xFF;
-        bytes[11] = 0xFF;
+        // The u16 dim count sits after ver, tag, request header, seed.
+        bytes[22] = 0xFF;
+        bytes[23] = 0xFF;
         assert!(Request::<Predicate>::decode(&bytes).is_err());
     }
 

@@ -107,6 +107,12 @@ impl ServeError {
             | ServeError::Durable(DurableError::Query(QueryError::AttrNotInitialized(_))) => {
                 code::ATTR_NOT_INITIALIZED
             }
+            // The deadline budget is a wire-level concern, not an oracle
+            // fault class: it gets its own top-level code.
+            ServeError::Query(QueryError::Oracle(OracleError::DeadlineExceeded))
+            | ServeError::Durable(DurableError::Query(QueryError::Oracle(
+                OracleError::DeadlineExceeded,
+            ))) => code::DEADLINE,
             ServeError::Query(QueryError::Oracle(e))
             | ServeError::Durable(DurableError::Query(QueryError::Oracle(e))) => {
                 oracle_wire_code(e)
@@ -114,6 +120,16 @@ impl ServeError {
             ServeError::Durable(_) => code::DURABILITY,
         }
     }
+}
+
+/// The canonical "budget expired" failure, raised at scheduler checkout and
+/// by [`DeadlineOracle`] between evaluation batches.
+fn deadline_error() -> ServeError {
+    ServeError::Query(QueryError::Oracle(OracleError::DeadlineExceeded))
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 fn oracle_wire_code(e: &OracleError) -> u16 {
@@ -175,6 +191,73 @@ impl<O: SelectionOracle> SelectionOracle for SessionOracle<'_, O> {
 
     fn qpf_uses(&self) -> u64 {
         self.uses.load(Ordering::Relaxed)
+    }
+}
+
+/// Enforces a per-request deadline budget at every oracle call site.
+///
+/// Wraps an oracle (typically a [`SessionOracle`]) and checks the budget on
+/// entry to `try_eval`/`try_eval_batch`, returning
+/// [`OracleError::DeadlineExceeded`] once the deadline passes. Because the
+/// core pipelines evaluate in batches and every abort path unwinds through
+/// the evaluate-then-commit split, an expired query surfaces `DEADLINE`
+/// between batches, frees its attribute footprint, and leaves the KB
+/// byte-identical — no partial refinement is ever committed.
+///
+/// `deadline = None` means no budget: every check is a cheap branch.
+#[derive(Debug)]
+pub struct DeadlineOracle<'a, O> {
+    inner: &'a O,
+    deadline: Option<Instant>,
+}
+
+impl<'a, O> DeadlineOracle<'a, O> {
+    /// Wraps `inner` with an absolute deadline (`None` = unbounded).
+    pub fn new(inner: &'a O, deadline: Option<Instant>) -> Self {
+        DeadlineOracle { inner, deadline }
+    }
+
+    fn check(&self) -> Result<(), OracleError> {
+        if expired(self.deadline) {
+            Err(OracleError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<O: SelectionOracle> SelectionOracle for DeadlineOracle<'_, O> {
+    type Pred = O::Pred;
+
+    fn try_eval(&self, pred: &Self::Pred, t: TupleId) -> Result<bool, OracleError> {
+        self.check()?;
+        self.inner.try_eval(pred, t)
+    }
+
+    fn try_eval_batch(
+        &self,
+        pred: &Self::Pred,
+        tuples: &[TupleId],
+        out: &mut Vec<bool>,
+    ) -> Result<(), OracleError> {
+        self.check()?;
+        self.inner.try_eval_batch(pred, tuples, out)
+    }
+
+    fn kind_of(&self, pred: &Self::Pred) -> PredicateKind {
+        self.inner.kind_of(pred)
+    }
+
+    fn n_slots(&self) -> usize {
+        self.inner.n_slots()
+    }
+
+    fn is_live(&self, t: TupleId) -> bool {
+        self.inner.is_live(t)
+    }
+
+    fn qpf_uses(&self) -> u64 {
+        self.inner.qpf_uses()
     }
 }
 
@@ -380,6 +463,24 @@ impl<P: SpPredicate + WireCodec> SessionScheduler<P> {
         attrs: &[AttrId],
         f: impl FnOnce(&mut PrkbEngine<P>) -> Result<T, QueryError>,
     ) -> Result<(T, u64), ServeError> {
+        self.with_detached_deadline(attrs, None, f)
+    }
+
+    /// [`with_detached`](Self::with_detached) with a deadline budget: if
+    /// the budget expires while the session was parked waiting for its
+    /// attribute footprint, the checkout is rolled back immediately —
+    /// every reserved attribute is freed, waiters are woken — and the call
+    /// fails with [`OracleError::DeadlineExceeded`] without running `f`.
+    /// A doomed query therefore never pins contended attributes.
+    ///
+    /// Expiry *during* `f` is the oracle layer's job: wrap the session's
+    /// oracle in a [`DeadlineOracle`] with the same instant.
+    pub fn with_detached_deadline<T>(
+        &self,
+        attrs: &[AttrId],
+        deadline: Option<Instant>,
+        f: impl FnOnce(&mut PrkbEngine<P>) -> Result<T, QueryError>,
+    ) -> Result<(T, u64), ServeError> {
         let groups = self.map.group_sorted(attrs);
         self.check_shard_poison(groups.iter().map(|(sid, _)| *sid))?;
 
@@ -426,7 +527,17 @@ impl<P: SpPredicate + WireCodec> SessionScheduler<P> {
             parts.push((*sid, shard_attrs.clone()));
         }
         metrics::global().observe(HistogramId::ShardLockWaitUs, wait_us);
-        let mut sub = merged.unwrap_or_else(|| PrkbEngine::new(self.config));
+        let sub = merged.unwrap_or_else(|| PrkbEngine::new(self.config));
+
+        // The budget may have burned down entirely while we were parked on
+        // busy attributes. Abort before evaluation: check the footprint
+        // straight back in (uncommitted — the KB is untouched) so the
+        // doomed query frees its attributes for live ones.
+        if expired(deadline) {
+            self.release_parts(&parts, Some(sub), false);
+            return Err(deadline_error());
+        }
+        let mut sub = sub;
 
         // Evaluation happens here, outside every lock. A panic guard checks
         // the knowledge back in even if `f` unwinds, so one poisoned query
@@ -650,8 +761,31 @@ impl<P: SpPredicate + WireCodec> SessionScheduler<P> {
         &self,
         f: impl FnOnce(&mut PrkbEngine<P>) -> T,
     ) -> Result<(T, u64), ServeError> {
+        self.with_exclusive_deadline(None, f)
+    }
+
+    /// [`with_exclusive`](Self::with_exclusive) with a deadline budget:
+    /// if the budget expired by the time the pool quiesces, the
+    /// reservation is released uncommitted and the call fails with
+    /// [`OracleError::DeadlineExceeded`] without running `f`. Exclusive
+    /// operations are not interrupted mid-`f` — once evaluation starts the
+    /// commit is all-or-nothing, so the only deadline point is checkout.
+    pub fn with_exclusive_deadline<T>(
+        &self,
+        deadline: Option<Instant>,
+        f: impl FnOnce(&mut PrkbEngine<P>) -> T,
+    ) -> Result<(T, u64), ServeError> {
         self.check_shard_poison(0..self.shards.len())?;
-        let mut merged = self.reserve_all();
+        let merged = self.reserve_all();
+        if expired(deadline) {
+            let mut guard = ExclusiveCheckin {
+                sched: self,
+                merged: Some(merged),
+            };
+            guard.checkin(false);
+            return Err(deadline_error());
+        }
+        let mut merged = merged;
         let mut guard = ExclusiveCheckin {
             sched: self,
             merged: None,
@@ -853,6 +987,9 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
     }
 
     /// Single-predicate selection (comparison or BETWEEN trapdoor).
+    /// `deadline` bounds the whole operation: checkout waits and every
+    /// oracle batch check it, and expiry aborts with
+    /// [`OracleError::DeadlineExceeded`] leaving the KB untouched.
     ///
     /// # Errors
     /// [`ServeError`] on engine or durability failure.
@@ -860,6 +997,7 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
         &self,
         oracle: &O,
         pred: &P,
+        deadline: Option<Instant>,
         rng: &mut R,
     ) -> Result<(Selection, u64), ServeError>
     where
@@ -869,11 +1007,18 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
         match self {
             Backend::Shared(sched) => {
                 let session = SessionOracle::new(oracle);
-                sched.with_detached(&[pred.attr()], |sub| sub.try_select(&session, pred, rng))
+                let bounded = DeadlineOracle::new(&session, deadline);
+                sched.with_detached_deadline(&[pred.attr()], deadline, |sub| {
+                    sub.try_select(&bounded, pred, rng)
+                })
             }
             Backend::Durable(slot) => {
                 let mut slot = Self::durable_lock(slot);
-                let sel = slot.engine.try_select(oracle, pred, rng)?;
+                if expired(deadline) {
+                    return Err(deadline_error());
+                }
+                let bounded = DeadlineOracle::new(oracle, deadline);
+                let sel = slot.engine.try_select(&bounded, pred, rng)?;
                 slot.seq += 1;
                 Ok((sel, slot.seq))
             }
@@ -890,6 +1035,7 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
         &self,
         oracle: &O,
         dims: &[[P; 2]],
+        deadline: Option<Instant>,
         rng: &mut R,
     ) -> Result<(Selection, u64), ServeError>
     where
@@ -900,11 +1046,18 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
             Backend::Shared(sched) => {
                 let attrs: Vec<AttrId> = dims.iter().map(|d| d[0].attr()).collect();
                 let session = SessionOracle::new(oracle);
-                sched.with_detached(&attrs, |sub| sub.try_select_range_md(&session, dims, rng))
+                let bounded = DeadlineOracle::new(&session, deadline);
+                sched.with_detached_deadline(&attrs, deadline, |sub| {
+                    sub.try_select_range_md(&bounded, dims, rng)
+                })
             }
             Backend::Durable(slot) => {
                 let mut slot = Self::durable_lock(slot);
-                let sel = slot.engine.try_select_range_md(oracle, dims, rng)?;
+                if expired(deadline) {
+                    return Err(deadline_error());
+                }
+                let bounded = DeadlineOracle::new(oracle, deadline);
+                let sel = slot.engine.try_select_range_md(&bounded, dims, rng)?;
                 slot.seq += 1;
                 Ok((sel, slot.seq))
             }
@@ -920,17 +1073,22 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
         &self,
         oracle: &O,
         t: TupleId,
+        deadline: Option<Instant>,
     ) -> Result<(Vec<(AttrId, InsertOutcome)>, u64), ServeError>
     where
         O: SelectionOracle<Pred = P>,
     {
         match self {
             Backend::Shared(sched) => {
-                let (result, seq) = sched.with_exclusive(|engine| engine.try_insert(oracle, t))?;
+                let (result, seq) = sched
+                    .with_exclusive_deadline(deadline, |engine| engine.try_insert(oracle, t))?;
                 Ok((result?, seq))
             }
             Backend::Durable(slot) => {
                 let mut slot = Self::durable_lock(slot);
+                if expired(deadline) {
+                    return Err(deadline_error());
+                }
                 let outcomes = slot.engine.try_insert(oracle, t)?;
                 slot.seq += 1;
                 Ok((outcomes, slot.seq))
@@ -943,14 +1101,18 @@ impl<P: SpPredicate + WireCodec> Backend<P> {
     /// # Errors
     /// [`ServeError::Durable`] in durable mode; infallible when shared and
     /// in-memory.
-    pub fn delete(&self, t: TupleId) -> Result<u64, ServeError> {
+    pub fn delete(&self, t: TupleId, deadline: Option<Instant>) -> Result<u64, ServeError> {
         match self {
             Backend::Shared(sched) => {
-                let ((), seq) = sched.with_exclusive(|engine| engine.delete(t))?;
+                let ((), seq) =
+                    sched.with_exclusive_deadline(deadline, |engine| engine.delete(t))?;
                 Ok(seq)
             }
             Backend::Durable(slot) => {
                 let mut slot = Self::durable_lock(slot);
+                if expired(deadline) {
+                    return Err(deadline_error());
+                }
                 slot.engine.delete(t)?;
                 slot.seq += 1;
                 Ok(slot.seq)
@@ -1046,6 +1208,74 @@ mod tests {
                 .validate()
                 .expect("valid knowledge");
         });
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_checkout_without_leaking_attrs() {
+        let oracle = PlainOracle::single_column((0..50).collect());
+        let sched = SessionScheduler::new(engine_with(&oracle, 1));
+        let pred = Predicate::cmp(0, ComparisonOp::Lt, 25);
+
+        // A deadline already in the past: the checkout must roll back
+        // before `f` ever runs.
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = sched
+            .with_detached_deadline(&[0], Some(past), |_sub| -> Result<(), QueryError> {
+                panic!("closure must not run once the budget expired")
+            })
+            .expect_err("expired budget");
+        assert!(matches!(
+            err,
+            ServeError::Query(QueryError::Oracle(OracleError::DeadlineExceeded))
+        ));
+        assert_eq!(err.wire_code(), crate::proto::code::DEADLINE);
+
+        // The footprint was checked back in: the same attribute is
+        // immediately available, knowledge intact, and the failed attempt
+        // consumed no commit sequence number.
+        let (sel, seq) = sched
+            .with_detached(&[0], |sub| {
+                sub.try_select(&oracle, &pred, &mut StdRng::seed_from_u64(1))
+            })
+            .expect("attr 0 not leaked");
+        assert_eq!(sel.tuples.len(), 25);
+        assert_eq!(seq, 1, "aborted checkout must not draw a sequence number");
+
+        // Exclusive checkout honours the budget the same way.
+        let err = sched
+            .with_exclusive_deadline(Some(past), |_engine| {
+                panic!("closure must not run once the budget expired")
+            })
+            .expect_err("expired exclusive budget");
+        assert_eq!(err.wire_code(), crate::proto::code::DEADLINE);
+        let ((), seq) = sched
+            .with_exclusive(|engine| engine.delete(3))
+            .expect("pool not wedged after aborted exclusive");
+        assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn deadline_oracle_cuts_off_between_batches() {
+        let oracle = PlainOracle::single_column((0..10).collect());
+        let session = SessionOracle::new(&oracle);
+        let live = DeadlineOracle::new(&session, None);
+        assert!(live
+            .try_eval(&Predicate::cmp(0, ComparisonOp::Lt, 5), 0)
+            .is_ok());
+        assert_eq!(live.qpf_uses(), 1, "passthrough counter");
+
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let dead = DeadlineOracle::new(&session, Some(past));
+        let mut out = Vec::new();
+        assert!(matches!(
+            dead.try_eval(&Predicate::cmp(0, ComparisonOp::Lt, 5), 0),
+            Err(OracleError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            dead.try_eval_batch(&Predicate::cmp(0, ComparisonOp::Lt, 5), &[1, 2], &mut out),
+            Err(OracleError::DeadlineExceeded)
+        ));
+        assert_eq!(session.qpf_uses(), 1, "no uses spent after expiry");
     }
 
     #[test]

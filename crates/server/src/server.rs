@@ -11,9 +11,11 @@
 //! refinements are never lost to shutdown; queued-but-unserved connections
 //! are simply closed.
 
+use crate::admission::{AdmissionGate, Admit, DedupWindow, QUEUE_ENV};
 use crate::conn::{self, Shared};
 use crate::scheduler::{Backend, DurableSlot, SessionScheduler};
 use crate::wire::DEFAULT_MAX_FRAME_LEN;
+use prkb_core::metrics::{self, Metric};
 use prkb_core::snapshot::WireCodec;
 use prkb_core::{DurableEngine, PrkbEngine, ShardedDurablePool, SpPredicate};
 use prkb_edbms::SelectionOracle;
@@ -31,6 +33,10 @@ pub const THREADS_ENV: &str = "PRKB_SERVER_THREADS";
 /// otherwise.
 pub const DEFAULT_THREADS: usize = 4;
 
+/// Completed-response memo size used when the config does not say
+/// otherwise — covers a retry horizon, not all history.
+pub const DEFAULT_DEDUP_WINDOW: usize = 1024;
+
 /// Tunables for one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -44,6 +50,15 @@ pub struct ServerConfig {
     pub poll_tick: Duration,
     /// Connections idle longer than this are closed.
     pub idle_deadline: Duration,
+    /// Admission-queue depth (accepted-but-unserved connections) before
+    /// the gate sheds with BUSY. `None` defers to `PRKB_SERVER_QUEUE`,
+    /// then `threads * 2`. Clamped to at least 1.
+    pub queue: Option<usize>,
+    /// Per-frame write budget: a peer that stops reading costs a worker
+    /// (or the shed path) at most this long per frame.
+    pub write_timeout: Duration,
+    /// Completed responses remembered for idempotent replay.
+    pub dedup_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +68,9 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             poll_tick: Duration::from_millis(50),
             idle_deadline: Duration::from_secs(30),
+            queue: None,
+            write_timeout: Duration::from_secs(10),
+            dedup_window: DEFAULT_DEDUP_WINDOW,
         }
     }
 }
@@ -66,6 +84,17 @@ impl ServerConfig {
                     .and_then(|v| v.trim().parse().ok())
             })
             .unwrap_or(DEFAULT_THREADS)
+            .max(1)
+    }
+
+    fn resolve_queue(&self, threads: usize) -> usize {
+        self.queue
+            .or_else(|| {
+                std::env::var(QUEUE_ENV)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(threads * 2)
             .max(1)
     }
 }
@@ -93,6 +122,21 @@ impl<P: SpPredicate + WireCodec, O> ServerReport<P, O> {
         self.shared.bytes.load(Ordering::Relaxed)
     }
 
+    /// Connections shed with BUSY at the admission gate.
+    pub fn busy_rejections(&self) -> u64 {
+        self.shared.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with the DEADLINE code.
+    pub fn deadline_timeouts(&self) -> u64 {
+        self.shared.deadline_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from the idempotent-replay window.
+    pub fn dedup_hits(&self) -> u64 {
+        self.shared.dedup_hits.load(Ordering::Relaxed)
+    }
+
     /// Read access to the drained engine (validation, snapshotting).
     pub fn inspect<T>(&self, f: impl FnOnce(&prkb_core::PrkbEngine<P>) -> T) -> T {
         self.shared.backend.inspect(f)
@@ -104,6 +148,7 @@ pub struct PrkbServer<P: SpPredicate + WireCodec, O> {
     listener: TcpListener,
     shared: Arc<Shared<P, O>>,
     threads: usize,
+    queue: usize,
 }
 
 impl<P, O> PrkbServer<P, O>
@@ -180,6 +225,7 @@ where
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let wake_addr = listener.local_addr()?;
+        let threads = config.resolve_threads();
         let shared = Arc::new(Shared {
             backend,
             oracle: Arc::new(RwLock::new(oracle)),
@@ -187,15 +233,21 @@ where
             max_frame_len: config.max_frame_len,
             poll_tick: config.poll_tick,
             idle_deadline: config.idle_deadline,
+            write_timeout: config.write_timeout,
+            dedup: DedupWindow::new(config.dedup_window),
             requests: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             frame_errors: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            deadline_timeouts: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
             wake_addr,
         });
         Ok(PrkbServer {
             listener,
             shared,
-            threads: config.resolve_threads(),
+            threads,
+            queue: config.resolve_queue(threads),
         })
     }
 
@@ -227,9 +279,10 @@ where
             listener,
             shared,
             threads,
+            queue,
         } = self;
 
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(threads * 2);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue);
         let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<JoinHandle<()>> = (0..threads)
             .map(|i| {
@@ -254,20 +307,42 @@ where
             })
             .collect();
 
-        for stream in listener.incoming() {
+        // Non-blocking accept with a short poll tick: the shutdown wake
+        // poke accelerates the exit, but the loop no longer depends on it
+        // (a failed poke only costs one tick). Admission is load-shedding,
+        // not load-parking: a full worker queue answers BUSY and closes
+        // instead of queueing unboundedly or stalling accepts.
+        listener.set_nonblocking(true)?;
+        let gate = AdmissionGate::new(tx, shared.write_timeout);
+        loop {
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            match stream {
-                Ok(s) => {
-                    // Re-check after the (possibly long) block in accept:
-                    // the wake poke itself must not be served.
+            match listener.accept() {
+                Ok((s, _)) => {
+                    // Re-check after accept: the wake poke itself must not
+                    // be served.
                     if shared.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    if tx.send(s).is_err() {
-                        break;
+                    // Accepted sockets must leave non-blocking mode (be
+                    // explicit; workers rely on read timeouts, and a
+                    // non-blocking stream would busy-spin the frame
+                    // reader).
+                    if s.set_nonblocking(false).is_err() {
+                        continue;
                     }
+                    match gate.offer(s) {
+                        Admit::Queued => {}
+                        Admit::Shed => {
+                            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                            metrics::global().add(Metric::BusyRejections, 1);
+                        }
+                        Admit::Closed => break,
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -277,7 +352,7 @@ where
                 }
             }
         }
-        drop(tx);
+        drop(gate);
         drop(listener);
         for w in workers {
             w.join().expect("worker thread panicked");

@@ -12,7 +12,7 @@
 use prkb_core::{EngineConfig, PrkbEngine};
 use prkb_edbms::testing::PlainOracle;
 use prkb_edbms::{ComparisonOp, Predicate};
-use prkb_server::proto::{code, Request, Response};
+use prkb_server::proto::{code, Request, RequestHeader, Response};
 use prkb_server::wire::{decode_frame, encode_frame, DEFAULT_MAX_FRAME_LEN};
 use prkb_server::{PrkbClient, PrkbServer, ServerConfig};
 use proptest::prelude::*;
@@ -71,6 +71,34 @@ proptest! {
             .unwrap_or(true));
     }
 
+    fn hostile_resilience_headers_never_panic(
+        rid in any::<u64>(),
+        deadline_ms in any::<u32>(),
+        extra in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        // Any request id / deadline combination decodes (they are opaque
+        // u64/u32 fields) — but trailing bytes after a complete body are
+        // always rejected, never silently swallowed.
+        let hdr = RequestHeader { request_id: rid, deadline_ms };
+        let clean = Request::<Predicate>::Ping.encode_with(hdr);
+        let decoded = Request::<Predicate>::decode(&clean);
+        prop_assert!(matches!(decoded, Ok((h, Request::Ping)) if h == hdr));
+
+        let mut padded = clean.clone();
+        padded.extend_from_slice(&extra);
+        let padded_result = Request::<Predicate>::decode(&padded);
+        if extra.is_empty() {
+            prop_assert!(padded_result.is_ok());
+        } else {
+            prop_assert!(padded_result.is_err(), "trailing bytes must be rejected");
+        }
+
+        // A header truncated mid-field is a clean error too.
+        for cut in 0..clean.len() {
+            prop_assert!(Request::<Predicate>::decode(&clean[..cut]).is_err());
+        }
+    }
+
     fn lying_length_fields_are_contained(claimed in any::<u32>()) {
         // A frame whose length field lies (with a matching CRC, so framing
         // itself is consistent) must either wait for more bytes or be
@@ -82,6 +110,28 @@ proptest! {
             Ok(Some((payload, _))) => prop_assert!(payload.len() <= frame.len()),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Stable wire codes are pinned forever
+// ---------------------------------------------------------------------------
+
+/// The `prkb-wire/v1` error codes are a compatibility contract: values are
+/// never reused and never renumbered, only appended. This test is the pin —
+/// if it fails, a wire-visible constant moved.
+#[test]
+fn error_codes_are_pinned() {
+    assert_eq!(code::UNSUPPORTED_VERSION, 1);
+    assert_eq!(code::MALFORMED, 2);
+    assert_eq!(code::UNKNOWN_TAG, 3);
+    assert_eq!(code::ATTR_NOT_INITIALIZED, 10);
+    assert_eq!(code::ORACLE_BASE, 20);
+    assert_eq!(code::DUPLICATE_DIMENSION, 40);
+    assert_eq!(code::DURABILITY, 50);
+    assert_eq!(code::DRAINING, 60);
+    assert_eq!(code::FRAME, 70);
+    assert_eq!(code::BUSY, 80);
+    assert_eq!(code::DEADLINE, 81);
 }
 
 // ---------------------------------------------------------------------------
@@ -117,6 +167,52 @@ fn drain(stream: &mut TcpStream) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Extreme-but-well-formed resilience headers (max request id, max or
+/// tiny deadline) must be served or rejected with a structured error —
+/// never panic the worker or wedge the connection.
+#[test]
+fn hostile_headers_on_a_live_server_are_contained() {
+    let (addr, handle) = start_server();
+
+    for (rid, deadline_ms) in [(u64::MAX, u32::MAX), (7, 1), (u64::MAX - 1, 0)] {
+        let hdr = RequestHeader {
+            request_id: rid,
+            deadline_ms,
+        };
+        let req = Request::Select {
+            seed: 9,
+            pred: Predicate::cmp(0, ComparisonOp::Lt, 10),
+        };
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&encode_frame(&req.encode_with(hdr)))
+            .expect("write hostile header");
+        raw.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut reader = prkb_server::FrameReader::new();
+        let payload = loop {
+            match reader
+                .poll(&mut raw, DEFAULT_MAX_FRAME_LEN)
+                .expect("framed answer")
+            {
+                prkb_server::wire::ReadStep::Frame { payload, .. } => break payload,
+                prkb_server::wire::ReadStep::Closed => panic!("closed instead of answering"),
+                _ => continue,
+            }
+        };
+        match Response::decode(&payload).expect("decode") {
+            Response::Selection { tuples, .. } => assert_eq!(tuples.len(), 10),
+            // A 1 ms budget may legitimately expire before checkout.
+            Response::Error { code: c, .. } => assert_eq!(c, code::DEADLINE),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    let mut client: PrkbClient<Predicate> = PrkbClient::connect(addr).expect("connect");
+    client.ping().expect("server alive after hostile headers");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
 }
 
 #[test]

@@ -10,7 +10,9 @@
 //!
 //! The port argument is optional (default 4641; pass 0 to let the OS pick —
 //! the bound address is printed either way). Worker-pool size follows
-//! `PRKB_SERVER_THREADS` (default 4).
+//! `PRKB_SERVER_THREADS` (default 4); the admission queue depth follows
+//! `PRKB_SERVER_QUEUE` (default 2× the workers — excess connections are
+//! shed with the stable BUSY code instead of piling up).
 
 use prkb::core::{EngineConfig, PrkbEngine};
 use prkb::edbms::testing::PlainOracle;
@@ -50,10 +52,14 @@ fn main() {
 
     let report = server.run().expect("serve");
     println!(
-        "drained: {} requests, {} wire bytes, {} frame errors",
+        "drained: {} requests, {} wire bytes, {} frame errors, \
+         {} busy sheds, {} deadline timeouts, {} dedup replays",
         report.requests(),
         report.bytes(),
-        report.frame_errors()
+        report.frame_errors(),
+        report.busy_rejections(),
+        report.deadline_timeouts(),
+        report.dedup_hits()
     );
     report.inspect(|engine| {
         for attr in [0u32, 1] {
