@@ -35,16 +35,17 @@ use crate::metrics::Metric;
 use crate::selection::Selection;
 use crate::shard::ShardMap;
 use crate::snapshot::{self, SnapshotError, WireCodec};
+use crate::storage::{real_fs, StorageFs};
 use crate::traits::SpPredicate;
 use prkb_edbms::durability::{
-    crc32, write_checkpoint, CrashInjector, CrashPoint, DurabilityError, TailStatus, Wal,
+    crc32, write_checkpoint_on, CrashInjector, CrashPoint, DurabilityError, TailStatus, Wal,
 };
 use prkb_edbms::{AttrId, SelectionOracle, TupleId};
 use rand::Rng;
 use std::fmt;
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Checkpoint file name inside the engine directory.
@@ -396,10 +397,10 @@ fn encode_checkpoint<P: SpPredicate + WireCodec>(engine: &PrkbEngine<P>, epoch: 
 }
 
 /// Restored checkpoint payload: epoch + per-attribute knowledge.
-type CheckpointState<P> = (u64, Vec<(AttrId, Knowledge<P>)>);
+pub(crate) type CheckpointState<P> = (u64, Vec<(AttrId, Knowledge<P>)>);
 
 /// Parses a checkpoint file: `(epoch, per-attribute knowledge)`.
-fn decode_checkpoint<P: SpPredicate + WireCodec>(
+pub(crate) fn decode_checkpoint<P: SpPredicate + WireCodec>(
     bytes: &[u8],
 ) -> Result<CheckpointState<P>, DurableError> {
     let body_len = bytes
@@ -449,8 +450,38 @@ fn decode_checkpoint<P: SpPredicate + WireCodec>(
 // The durable engine
 // ---------------------------------------------------------------------------
 
-fn wal_name(epoch: u64) -> String {
+pub(crate) fn wal_name(epoch: u64) -> String {
     format!("wal.{epoch}.log")
+}
+
+/// Removes `path` if it exists; a missing file is fine, any other failure
+/// is a real I/O error and is surfaced (nothing in the durability paths
+/// swallows an I/O result).
+fn remove_stale(fs: &dyn StorageFs, path: &Path) -> Result<(), DurableError> {
+    match fs.remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(DurabilityError::Io(e).into()),
+    }
+}
+
+/// Bumps the storage-failure counters for an error that is about to poison
+/// a handle: every poison transition counts once, sync-class failures
+/// additionally count as `sync_failures`.
+fn note_poison(e: &DurableError) {
+    let m = crate::metrics::global();
+    m.add(Metric::WalPoisoned, 1);
+    if matches!(e, DurableError::Storage(DurabilityError::SyncFailed(_))) {
+        m.add(Metric::SyncFailures, 1);
+    }
+}
+
+/// The sync-failure reason inside `e`, when it is one.
+fn sync_reason(e: &DurableError) -> Option<String> {
+    match e {
+        DurableError::Storage(DurabilityError::SyncFailed(why)) => Some(why.clone()),
+        _ => None,
+    }
 }
 
 /// Result of [`recover_dir`]: the rebuilt engine, the live WAL, and what
@@ -466,21 +497,22 @@ struct RecoveredDir<P> {
 /// validate every attribute, and drop stale-epoch logs. Used by both the
 /// coarse [`DurableEngine`] and each shard of a [`ShardedDurablePool`].
 fn recover_dir<P: SpPredicate + WireCodec>(
+    fs: &Arc<dyn StorageFs>,
     dir: &Path,
     config: EngineConfig,
     crash: &CrashInjector,
 ) -> Result<RecoveredDir<P>, DurableError> {
-    std::fs::create_dir_all(dir).map_err(DurabilityError::Io)?;
+    fs.create_dir_all(dir).map_err(DurabilityError::Io)?;
     // A leftover temp file is a checkpoint that never completed; the
     // rename never happened, so it is dead weight.
-    let _ = std::fs::remove_file(dir.join(format!("{CHECKPOINT_FILE}.tmp")));
+    remove_stale(fs.as_ref(), &dir.join(format!("{CHECKPOINT_FILE}.tmp")))?;
 
     let mut engine = PrkbEngine::new(config);
     let ckpt_path = dir.join(CHECKPOINT_FILE);
     let mut epoch = 0u64;
     let mut checkpoint_loaded = false;
-    if ckpt_path.exists() {
-        let bytes = std::fs::read(&ckpt_path).map_err(DurabilityError::Io)?;
+    if fs.exists(&ckpt_path) {
+        let bytes = fs.read(&ckpt_path).map_err(DurabilityError::Io)?;
         let (e, kbs) = decode_checkpoint::<P>(&bytes)?;
         epoch = e;
         for (attr, kb) in kbs {
@@ -490,11 +522,11 @@ fn recover_dir<P: SpPredicate + WireCodec>(
     }
 
     let wal_path = dir.join(wal_name(epoch));
-    let (wal, payloads, tail) = if wal_path.exists() {
-        Wal::open(&wal_path, crash.clone())?
+    let (wal, payloads, tail) = if fs.exists(&wal_path) {
+        Wal::open_on(fs.as_ref(), &wal_path, crash.clone())?
     } else {
         (
-            Wal::create(&wal_path, crash.clone())?,
+            Wal::create_on(fs.as_ref(), &wal_path, crash.clone())?,
             Vec::new(),
             TailStatus::Clean,
         )
@@ -520,19 +552,20 @@ fn recover_dir<P: SpPredicate + WireCodec>(
     }
 
     // Stale epochs (left by a crash inside checkpoint rotation) are
-    // subsumed by the checkpoint; drop them.
-    if let Ok(entries) = std::fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(e) = name
-                .strip_prefix("wal.")
-                .and_then(|s| s.strip_suffix(".log"))
-                .and_then(|s| s.parse::<u64>().ok())
-            {
-                if e != epoch {
-                    let _ = std::fs::remove_file(entry.path());
-                }
+    // subsumed by the checkpoint; drop them. Enumeration and removal
+    // failures surface — silently keeping a stale log would replay it
+    // against the wrong checkpoint on some future recovery.
+    for path in fs.read_dir(dir).map_err(DurabilityError::Io)? {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(e) = name
+            .strip_prefix("wal.")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if e != epoch {
+                remove_stale(fs.as_ref(), &path)?;
             }
         }
     }
@@ -567,7 +600,12 @@ pub struct DurableEngine<P> {
     dir: PathBuf,
     epoch: u64,
     crash: CrashInjector,
+    fs: Arc<dyn StorageFs>,
     poisoned: bool,
+    /// When the poisoning failure was a sync failure, its reason — later
+    /// calls surface it as [`DurabilityError::SyncFailed`] rather than the
+    /// generic [`DurableError::Poisoned`].
+    sync_poison: Option<String>,
 }
 
 impl<P: SpPredicate + WireCodec> DurableEngine<P> {
@@ -590,7 +628,18 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
         config: EngineConfig,
         crash: CrashInjector,
     ) -> Result<(Self, RecoveryReport), DurableError> {
-        let recovered = recover_dir::<P>(dir, config, &crash)?;
+        Self::open_with_storage(dir, config, crash, real_fs())
+    }
+
+    /// [`open`](Self::open) on an arbitrary [`StorageFs`] — the hook the
+    /// storage-fault sweep uses to make every write/fsync/rename lie.
+    pub fn open_with_storage(
+        dir: &Path,
+        config: EngineConfig,
+        crash: CrashInjector,
+        fs: Arc<dyn StorageFs>,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        let recovered = recover_dir::<P>(&fs, dir, config, &crash)?;
         let epoch = recovered.report.epoch;
         Ok((
             DurableEngine {
@@ -599,7 +648,9 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
                 dir: dir.to_path_buf(),
                 epoch,
                 crash,
+                fs,
                 poisoned: false,
+                sync_poison: None,
             },
             recovered.report,
         ))
@@ -626,11 +677,32 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
     }
 
     fn check_poison(&self) -> Result<(), DurableError> {
-        if self.poisoned {
+        if let Some(why) = &self.sync_poison {
+            Err(DurableError::Storage(DurabilityError::SyncFailed(
+                why.clone(),
+            )))
+        } else if self.poisoned {
             Err(DurableError::Poisoned)
         } else {
             Ok(())
         }
+    }
+
+    fn poison_with(&mut self, e: &DurableError) {
+        if !self.poisoned {
+            note_poison(e);
+        }
+        self.poisoned = true;
+        if self.sync_poison.is_none() {
+            self.sync_poison = sync_reason(e);
+        }
+    }
+
+    /// Integrity-scrubs this engine's directory (see [`crate::scrub`]).
+    /// With `quarantine`, hard-corrupt files are moved into `quarantine/`
+    /// — never do that on a directory another live handle is using.
+    pub fn scrub(&self, quarantine: bool) -> crate::scrub::ScrubReport {
+        crate::scrub::scrub_engine_dir::<P>(self.fs.as_ref(), &self.dir, quarantine)
     }
 
     /// Drains the journaled ops of the operation that just committed
@@ -654,8 +726,9 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
         if let Err(e) = self.wal.append(&payload) {
             // In-memory state is ahead of the log now; only a reopen can
             // re-establish the memory == disk-prefix invariant.
-            self.poisoned = true;
-            return Err(e.into());
+            let e = DurableError::from(e);
+            self.poison_with(&e);
+            return Err(e);
         }
         crate::metrics::global().record_wal_txn(self.wal.bytes().saturating_sub(bytes_before));
         self.maybe_checkpoint()
@@ -683,22 +756,32 @@ impl<P: SpPredicate + WireCodec> DurableEngine<P> {
     pub fn checkpoint(&mut self) -> Result<(), DurableError> {
         self.check_poison()?;
         let next = self.epoch + 1;
+        let fs = Arc::clone(&self.fs);
         let result: Result<(), DurableError> = (|| {
             let payload = encode_checkpoint(&self.engine, next);
-            write_checkpoint(&self.dir, CHECKPOINT_FILE, &payload, &self.crash)?;
-            let new_wal = Wal::create(&self.dir.join(wal_name(next)), self.crash.clone())?;
+            write_checkpoint_on(
+                fs.as_ref(),
+                &self.dir,
+                CHECKPOINT_FILE,
+                &payload,
+                &self.crash,
+            )?;
+            let new_wal = Wal::create_on(
+                fs.as_ref(),
+                &self.dir.join(wal_name(next)),
+                self.crash.clone(),
+            )?;
             self.crash.fire(CrashPoint::BeforeWalRetire)?;
             let old_path = self.wal.path().to_path_buf();
             self.wal = new_wal;
             self.epoch = next;
-            let _ = std::fs::remove_file(old_path);
+            remove_stale(fs.as_ref(), &old_path)?;
             self.crash.fire(CrashPoint::AfterWalRetire)?;
             Ok(())
         })();
-        if result.is_err() {
-            self.poisoned = true;
-        } else {
-            crate::metrics::global().add(crate::metrics::Metric::Checkpoints, 1);
+        match &result {
+            Err(e) => self.poison_with(e),
+            Ok(()) => crate::metrics::global().add(crate::metrics::Metric::Checkpoints, 1),
         }
         result
     }
@@ -878,6 +961,19 @@ struct CommitterState {
     durable_seq: u64,
     /// Set after a flush or rotation failure: memory may be ahead of disk.
     poisoned: bool,
+    /// When the poisoning failure was a sync failure, its reason: every
+    /// queued waiter then gets [`DurabilityError::SyncFailed`] — an
+    /// explicit "your fsync failed", never a durable ack.
+    sync_poison: Option<String>,
+}
+
+/// The error a poisoned committer hands every caller: the sync-failure
+/// reason when the disk lied, the generic poisoned marker otherwise.
+fn poisoned_err(st: &CommitterState) -> DurableError {
+    match &st.sync_poison {
+        Some(why) => DurableError::Storage(DurabilityError::SyncFailed(why.clone())),
+        None => DurableError::Poisoned,
+    }
 }
 
 /// A shard-local **group commit** pipeline: callers enqueue encoded WAL
@@ -905,6 +1001,7 @@ pub struct ShardCommitter<P> {
     cv: Condvar,
     crash: CrashInjector,
     dir: PathBuf,
+    fs: Arc<dyn StorageFs>,
     group_records: u64,
     max_wait: Duration,
     _pred: PhantomData<fn() -> P>,
@@ -935,7 +1032,17 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
         config: EngineConfig,
         crash: CrashInjector,
     ) -> Result<(PrkbEngine<P>, Self, RecoveryReport), DurableError> {
-        let recovered = recover_dir::<P>(dir, config, &crash)?;
+        Self::open_with_storage(dir, config, crash, real_fs())
+    }
+
+    /// [`open`](Self::open) on an arbitrary [`StorageFs`].
+    pub fn open_with_storage(
+        dir: &Path,
+        config: EngineConfig,
+        crash: CrashInjector,
+        fs: Arc<dyn StorageFs>,
+    ) -> Result<(PrkbEngine<P>, Self, RecoveryReport), DurableError> {
+        let recovered = recover_dir::<P>(&fs, dir, config, &crash)?;
         let durable = recovered.wal.records();
         let committer = ShardCommitter {
             state: Mutex::new(CommitterState {
@@ -945,10 +1052,12 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
                 next_seq: durable + 1,
                 durable_seq: durable,
                 poisoned: false,
+                sync_poison: None,
             }),
             cv: Condvar::new(),
             crash,
             dir: dir.to_path_buf(),
+            fs,
             group_records: config.group_commit_records.max(1),
             max_wait: Duration::from_micros(config.group_commit_max_wait_us),
             _pred: PhantomData,
@@ -997,7 +1106,7 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
                 return Ok((ticket.epoch, ticket.seq));
             }
             if st.poisoned {
-                return Err(DurableError::Poisoned);
+                return Err(poisoned_err(&st));
             }
             if st.wal.is_some() {
                 // The WAL is idle: lead now. Delaying would add latency
@@ -1061,8 +1170,15 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
             Err(e) => {
                 // The WAL handle is dropped: its file may hold a torn or
                 // unsynced suffix. Recovery discards that suffix and lands
-                // on the committed prefix.
+                // on the committed prefix. Queued waiters all get the
+                // poison error — never a durable ack for a failed fsync.
+                if !st.poisoned {
+                    note_poison(&e);
+                }
                 st.poisoned = true;
+                if st.sync_poison.is_none() {
+                    st.sync_poison = sync_reason(&e);
+                }
                 self.cv.notify_all();
                 Err(e)
             }
@@ -1079,7 +1195,7 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
         let mut st = self.lock();
         loop {
             if st.poisoned {
-                return Err(DurableError::Poisoned);
+                return Err(poisoned_err(&st));
             }
             match &st.wal {
                 Some(_) if st.pending.is_empty() => return Ok(()),
@@ -1121,7 +1237,7 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
         let mut st = self.lock();
         loop {
             if st.poisoned {
-                return Err(DurableError::Poisoned);
+                return Err(poisoned_err(&st));
             }
             match &st.wal {
                 Some(_) if st.pending.is_empty() => break,
@@ -1139,8 +1255,18 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
         let next = st.epoch + 1;
         let result = (|| -> Result<Wal, DurableError> {
             let payload = encode_checkpoint(engine, next);
-            write_checkpoint(&self.dir, CHECKPOINT_FILE, &payload, &self.crash)?;
-            let new_wal = Wal::create(&self.dir.join(wal_name(next)), self.crash.clone())?;
+            write_checkpoint_on(
+                self.fs.as_ref(),
+                &self.dir,
+                CHECKPOINT_FILE,
+                &payload,
+                &self.crash,
+            )?;
+            let new_wal = Wal::create_on(
+                self.fs.as_ref(),
+                &self.dir.join(wal_name(next)),
+                self.crash.clone(),
+            )?;
             self.crash.fire(CrashPoint::BeforeWalRetire)?;
             Ok(new_wal)
         })();
@@ -1156,18 +1282,41 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
                 st.epoch = next;
                 st.durable_seq = 0;
                 st.next_seq = 1;
-                let _ = std::fs::remove_file(old);
+                if let Err(e) = remove_stale(self.fs.as_ref(), &old) {
+                    // The checkpoint at `next` is durable, so the stale WAL is
+                    // harmless on disk — but a failing unlink signals a sick
+                    // volume; poison rather than limp along.
+                    if !st.poisoned {
+                        note_poison(&e);
+                    }
+                    st.poisoned = true;
+                    if st.sync_poison.is_none() {
+                        st.sync_poison = sync_reason(&e);
+                    }
+                    self.cv.notify_all();
+                    return Err(e);
+                }
                 self.cv.notify_all();
                 if let Err(e) = self.crash.fire(CrashPoint::AfterWalRetire) {
+                    let e = DurableError::from(e);
+                    if !st.poisoned {
+                        note_poison(&e);
+                    }
                     st.poisoned = true;
                     self.cv.notify_all();
-                    return Err(e.into());
+                    return Err(e);
                 }
                 crate::metrics::global().add(Metric::Checkpoints, 1);
                 Ok(())
             }
             Err(e) => {
+                if !st.poisoned {
+                    note_poison(&e);
+                }
                 st.poisoned = true;
+                if st.sync_poison.is_none() {
+                    st.sync_poison = sync_reason(&e);
+                }
                 self.cv.notify_all();
                 Err(e)
             }
@@ -1188,9 +1337,19 @@ impl<P: SpPredicate + WireCodec> ShardCommitter<P> {
     pub fn is_poisoned(&self) -> bool {
         self.lock().poisoned
     }
+
+    /// The error a poisoned shard returns for new work, or `None` if the
+    /// shard is healthy. Sync-class poison (a failed fsync) is reported as
+    /// [`DurabilityError::SyncFailed`] with the original reason so callers
+    /// — and the wire protocol — can distinguish "your disk lied about
+    /// durability" from a crash-injection or codec poison.
+    pub fn poison_error(&self) -> Option<DurableError> {
+        let st = self.lock();
+        st.poisoned.then(|| poisoned_err(&st))
+    }
 }
 
-fn write_manifest(dir: &Path, shards: usize) -> Result<(), DurableError> {
+fn write_manifest(fs: &dyn StorageFs, dir: &Path, shards: usize) -> Result<(), DurableError> {
     let mut out = Vec::new();
     out.extend_from_slice(MANIFEST_MAGIC);
     out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
@@ -1198,23 +1357,21 @@ fn write_manifest(dir: &Path, shards: usize) -> Result<(), DurableError> {
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
-    std::fs::write(&tmp, &out).map_err(DurabilityError::Io)?;
-    std::fs::File::open(&tmp)
-        .and_then(|f| f.sync_all())
+    fs.write(&tmp, &out).map_err(DurabilityError::Io)?;
+    let mut f = fs.open_file(&tmp).map_err(DurabilityError::Io)?;
+    f.sync_all().map_err(DurabilityError::Io)?;
+    drop(f);
+    fs.rename(&tmp, &dir.join(MANIFEST_FILE))
         .map_err(DurabilityError::Io)?;
-    std::fs::rename(&tmp, dir.join(MANIFEST_FILE)).map_err(DurabilityError::Io)?;
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
+    // Without the directory fsync the rename itself can be lost on crash,
+    // leaving a pool that silently re-partitions on reopen. Never swallow it.
+    fs.sync_dir(dir).map_err(DurabilityError::Io)?;
     Ok(())
 }
 
-fn read_manifest(dir: &Path) -> Result<Option<usize>, DurableError> {
-    let path = dir.join(MANIFEST_FILE);
-    if !path.exists() {
-        return Ok(None);
-    }
-    let bytes = std::fs::read(&path).map_err(DurabilityError::Io)?;
+/// Validates raw manifest bytes: `"PSHD" | version u16 | shards u32 | crc32`.
+/// Shared by [`read_manifest`] and the scrubber.
+pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<usize, DurableError> {
     if bytes.len() != 14 {
         return Err(DurableError::CorruptManifest("bad length"));
     }
@@ -1233,7 +1390,16 @@ fn read_manifest(dir: &Path) -> Result<Option<usize>, DurableError> {
     if shards == 0 {
         return Err(DurableError::CorruptManifest("zero shards"));
     }
-    Ok(Some(shards))
+    Ok(shards)
+}
+
+fn read_manifest(fs: &dyn StorageFs, dir: &Path) -> Result<Option<usize>, DurableError> {
+    let path = dir.join(MANIFEST_FILE);
+    if !fs.exists(&path) {
+        return Ok(None);
+    }
+    let bytes = fs.read(&path).map_err(DurabilityError::Io)?;
+    decode_manifest(&bytes).map(Some)
 }
 
 /// A directory of `shard.<i>/` sub-engines, each with its own checkpoint,
@@ -1247,6 +1413,8 @@ fn read_manifest(dir: &Path) -> Result<Option<usize>, DurableError> {
 /// any other shard lost.
 #[derive(Debug)]
 pub struct ShardedDurablePool<P> {
+    dir: PathBuf,
+    fs: Arc<dyn StorageFs>,
     map: ShardMap,
     shards: ShardParts<P>,
     reports: Vec<RecoveryReport>,
@@ -1281,28 +1449,56 @@ impl<P: SpPredicate + WireCodec> ShardedDurablePool<P> {
         requested: ShardMap,
         crash: CrashInjector,
     ) -> Result<Self, DurableError> {
-        std::fs::create_dir_all(dir).map_err(DurabilityError::Io)?;
-        let _ = std::fs::remove_file(dir.join(format!("{MANIFEST_FILE}.tmp")));
-        let map = match read_manifest(dir)? {
+        Self::open_with_storage(dir, config, requested, crash, real_fs())
+    }
+
+    /// [`open_with_crash`](Self::open_with_crash) over an explicit storage
+    /// backend — the hook the seeded I/O fault sweeps use to replace the
+    /// real filesystem with a [`crate::storage::FaultFs`].
+    pub fn open_with_storage(
+        dir: &Path,
+        config: EngineConfig,
+        requested: ShardMap,
+        crash: CrashInjector,
+        fs: Arc<dyn StorageFs>,
+    ) -> Result<Self, DurableError> {
+        fs.create_dir_all(dir).map_err(DurabilityError::Io)?;
+        remove_stale(fs.as_ref(), &dir.join(format!("{MANIFEST_FILE}.tmp")))?;
+        let map = match read_manifest(fs.as_ref(), dir)? {
             Some(shards) => ShardMap::new(shards),
             None => {
-                write_manifest(dir, requested.shards())?;
+                write_manifest(fs.as_ref(), dir, requested.shards())?;
                 requested
             }
         };
         let mut shards = Vec::with_capacity(map.shards());
         let mut reports = Vec::with_capacity(map.shards());
         for i in 0..map.shards() {
-            let (engine, committer, report) =
-                ShardCommitter::open(&dir.join(format!("shard.{i}")), config, crash.clone())?;
+            let (engine, committer, report) = ShardCommitter::open_with_storage(
+                &dir.join(format!("shard.{i}")),
+                config,
+                crash.clone(),
+                Arc::clone(&fs),
+            )?;
             shards.push((engine, committer));
             reports.push(report);
         }
         Ok(ShardedDurablePool {
+            dir: dir.to_path_buf(),
+            fs,
             map,
             shards,
             reports,
         })
+    }
+
+    /// CRC-walks every shard's checkpoint, WAL, and the pool manifest,
+    /// classifying damage without mutating healthy state. With
+    /// `quarantine` set, corrupt artifacts are renamed into a
+    /// `quarantine/` sibling directory (never deleted) so a reopen can
+    /// proceed while the evidence survives for forensics.
+    pub fn scrub(&self, quarantine: bool) -> crate::scrub::ScrubReport {
+        crate::scrub::scrub_pool_dir::<P>(self.fs.as_ref(), &self.dir, quarantine)
     }
 
     /// The pool's persisted attribute partitioning.

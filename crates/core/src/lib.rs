@@ -66,12 +66,14 @@ pub mod metrics;
 pub mod pop;
 pub mod qfilter;
 pub mod qscan;
+pub mod scrub;
 pub mod sd;
 pub mod sdplus;
 pub mod selection;
 pub mod shard;
 pub mod skyline;
 pub mod snapshot;
+pub mod storage;
 pub mod traits;
 mod update;
 
@@ -86,8 +88,10 @@ pub use knowledge::{Knowledge, RefinementOp, Separator};
 pub use md::{MdDim, MdUpdatePolicy};
 pub use metrics::{Metric, MetricsRegistry, MetricsSnapshot, QueryKind};
 pub use pop::{PartId, Pop};
+pub use scrub::{ScrubDamage, ScrubFinding, ScrubReport};
 pub use selection::{QueryStats, Selection};
 pub use shard::ShardMap;
 pub use skyline::skyline_candidates;
 pub use snapshot::{SnapshotError, WireCodec};
+pub use storage::{FaultFs, IoFaultKind, IoFaultRule, IoOp};
 pub use traits::SpPredicate;

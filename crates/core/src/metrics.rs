@@ -7,10 +7,13 @@
 //! zero-dependency and cheap: every counter is a relaxed [`AtomicU64`]
 //! increment (~1 ns, no locks, no allocation), so leaving the registry
 //! unread costs nothing measurable. Snapshots ([`MetricsSnapshot`]) render
-//! to a stable, hand-rolled JSON schema (`prkb-metrics/v3`) suitable for
+//! to a stable, hand-rolled JSON schema (`prkb-metrics/v4`) suitable for
 //! dashboards and CI artifacts.
 //!
-//! Schema history: **v3** added the service-resilience counters
+//! Schema history: **v4** added the storage-robustness counters
+//! (`io_faults_injected`, `sync_failures`, `wal_poisoned`, `scrub_runs`,
+//! `scrub_corruptions`, `quarantined_files`); **v3** added the
+//! service-resilience counters
 //! (`busy_rejections`, `deadline_timeouts`, `net_retries`, `dedup_hits`,
 //! `net_faults_injected`); **v2** added the `shards` header field (the
 //! sharded engine-pool topology, see [`MetricsRegistry::set_shards`]), the
@@ -25,7 +28,7 @@
 //! reg.add(metrics::Metric::QueriesComparison, 1);
 //! let snap = reg.snapshot();
 //! assert!(snap.counter("queries_comparison").unwrap() >= 1);
-//! assert!(snap.to_json().starts_with("{\"schema\":\"prkb-metrics/v3\""));
+//! assert!(snap.to_json().starts_with("{\"schema\":\"prkb-metrics/v4\""));
 //! ```
 
 use crate::selection::QueryStats;
@@ -33,10 +36,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Number of counter metrics (length of [`Metric::ALL`]).
-const COUNTER_COUNT: usize = 35;
+const COUNTER_COUNT: usize = 41;
 
 /// Every counter the registry tracks. Names (via [`Metric::name`]) are part
-/// of the `prkb-metrics/v3` JSON schema: never rename, only append.
+/// of the `prkb-metrics/v4` JSON schema: never rename, only append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// Single-comparison selections processed by the engine.
@@ -119,6 +122,22 @@ pub enum Metric {
     DedupHits,
     /// Network faults injected by the chaos harness (test/chaos runs).
     NetFaultsInjected,
+    /// Storage I/O faults injected by `FaultFs` (test/fault-sweep runs).
+    IoFaultsInjected,
+    /// Failed `sync_data`/`sync_all` barriers surfaced as
+    /// `DurabilityError::SyncFailed` (never acknowledged as durable).
+    SyncFailures,
+    /// WAL / shard-committer handles permanently poisoned by an I/O or
+    /// injected-crash failure (each transition counted once).
+    WalPoisoned,
+    /// Integrity-scrub passes started (`scrub()` or `examples/scrub`).
+    ScrubRuns,
+    /// Hard damage found by scrub passes: mid-log corruption, checkpoint
+    /// rot, manifest mismatch, or unreadable files (torn tails are normal
+    /// crash residue and not counted).
+    ScrubCorruptions,
+    /// Files moved into a `quarantine/` subdirectory by scrub passes.
+    QuarantinedFiles,
 }
 
 impl Metric {
@@ -159,6 +178,12 @@ impl Metric {
         Metric::NetRetries,
         Metric::DedupHits,
         Metric::NetFaultsInjected,
+        Metric::IoFaultsInjected,
+        Metric::SyncFailures,
+        Metric::WalPoisoned,
+        Metric::ScrubRuns,
+        Metric::ScrubCorruptions,
+        Metric::QuarantinedFiles,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -199,6 +224,12 @@ impl Metric {
             Metric::NetRetries => "net_retries",
             Metric::DedupHits => "dedup_hits",
             Metric::NetFaultsInjected => "net_faults_injected",
+            Metric::IoFaultsInjected => "io_faults_injected",
+            Metric::SyncFailures => "sync_failures",
+            Metric::WalPoisoned => "wal_poisoned",
+            Metric::ScrubRuns => "scrub_runs",
+            Metric::ScrubCorruptions => "scrub_corruptions",
+            Metric::QuarantinedFiles => "quarantined_files",
         }
     }
 
@@ -361,7 +392,7 @@ impl MetricsRegistry {
     }
 
     /// Publishes the engine-pool shard count into the snapshot header
-    /// (`"shards"` in `prkb-metrics/v3`). A gauge, not a counter: set at
+    /// (`"shards"` in `prkb-metrics/v4`). A gauge, not a counter: set at
     /// pool construction, untouched by [`reset`](Self::reset).
     pub fn set_shards(&self, n: u64) {
         self.shards.store(n, Ordering::Relaxed);
@@ -464,7 +495,7 @@ pub fn global() -> &'static MetricsRegistry {
     GLOBAL.get_or_init(MetricsRegistry::new)
 }
 
-/// A point-in-time copy of the registry, renderable as `prkb-metrics/v3`
+/// A point-in-time copy of the registry, renderable as `prkb-metrics/v4`
 /// JSON.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -494,10 +525,10 @@ impl MetricsSnapshot {
             .map(|(_, b)| b.as_slice())
     }
 
-    /// Renders the stable `prkb-metrics/v3` JSON document:
+    /// Renders the stable `prkb-metrics/v4` JSON document:
     ///
     /// ```json
-    /// {"schema":"prkb-metrics/v3",
+    /// {"schema":"prkb-metrics/v4",
     ///  "shards":8,
     ///  "counters":{"queries_comparison":3,...},
     ///  "histograms":{"qpf_per_query":[0,1,2],...}}
@@ -510,7 +541,7 @@ impl MetricsSnapshot {
     /// the group-commit/shard-wait metrics; v1 documents differ only by
     /// schema tag and the absent header field.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"schema\":\"prkb-metrics/v3\",\"shards\":");
+        let mut s = String::from("{\"schema\":\"prkb-metrics/v4\",\"shards\":");
         s.push_str(&self.shards.to_string());
         s.push_str(",\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -608,7 +639,7 @@ mod tests {
         reg.record_fault_events(1, 0, 2, 3);
         reg.set_shards(8);
         let json = reg.snapshot().to_json();
-        assert!(json.starts_with("{\"schema\":\"prkb-metrics/v3\",\"shards\":8,\"counters\":{"));
+        assert!(json.starts_with("{\"schema\":\"prkb-metrics/v4\",\"shards\":8,\"counters\":{"));
         assert!(json.contains("\"inserts\":1"));
         assert!(json.contains("\"inserts_parked\":1"));
         assert!(json.contains("\"insert_qpf_uses\":6"));

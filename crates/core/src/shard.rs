@@ -13,6 +13,12 @@
 //! count in a manifest ([`crate::durability::ShardedDurablePool`]) so a
 //! reopen under a different `PRKB_SHARDS` still routes attributes to the
 //! WAL that holds their history.
+//!
+//! Shards also bound the blast radius of storage failures: a failed fsync
+//! poisons only the shard whose WAL lied (see the fsync-failure semantics
+//! in [`crate::durability`]), and the [`crate::scrub`] scrubber walks and
+//! quarantines each `shard.<i>/` directory independently — attributes on
+//! healthy shards keep serving and committing throughout.
 
 use prkb_edbms::AttrId;
 

@@ -25,11 +25,11 @@
 //!   the resilience layer), which is what the CI crash-sweep job uses.
 
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::storage::{RealFs, StorageFile, StorageFs};
 
 /// WAL file magic.
 pub const WAL_MAGIC: &[u8; 4] = b"PWAL";
@@ -40,6 +40,14 @@ pub const WAL_HEADER_LEN: u64 = 8;
 /// Upper bound on a single record's payload; a length field above this is
 /// treated as damage, not as a 4 GiB allocation request.
 pub const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// The 8-byte WAL file header: `"PWAL" | version u16 | reserved u16`.
+fn wal_header() -> [u8; WAL_HEADER_LEN as usize] {
+    let mut header = [0u8; WAL_HEADER_LEN as usize];
+    header[..4].copy_from_slice(WAL_MAGIC);
+    header[4..6].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    header
+}
 
 /// CRC32 (IEEE 802.3, reflected) over `bytes` — the frame checksum.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -173,6 +181,13 @@ pub enum DurabilityError {
     },
     /// A checkpoint file failed its integrity or structural checks.
     CorruptCheckpoint(String),
+    /// A durability barrier (`sync_data`/`sync_all`) failed, or the handle
+    /// was already poisoned by an earlier write/sync failure. After a failed
+    /// fsync the kernel may have *dropped* the dirty pages (the fsyncgate
+    /// lesson), so retry-and-assume-durable is a lie: the affected WAL/shard
+    /// is permanently poisoned and never issues a durable ack again until
+    /// the process reopens and re-reads what actually persisted.
+    SyncFailed(String),
 }
 
 impl fmt::Display for DurabilityError {
@@ -191,6 +206,11 @@ impl fmt::Display for DurabilityError {
                  valid records follow, refusing to discard committed state"
             ),
             DurabilityError::CorruptCheckpoint(what) => write!(f, "corrupt checkpoint: {what}"),
+            DurabilityError::SyncFailed(why) => write!(
+                f,
+                "durability barrier failed ({why}); no durable ack — \
+                 handle poisoned until reopen"
+            ),
         }
     }
 }
@@ -292,28 +312,32 @@ pub enum TailStatus {
 /// (`"PWAL" | version u16 | reserved u16`).
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     crash: CrashInjector,
     records: u64,
     bytes: u64,
+    /// Why this handle is poisoned, when it is. Set by the first failed
+    /// write or sync; every later append/sync returns
+    /// [`DurabilityError::SyncFailed`] with this reason.
+    poison: Option<String>,
 }
 
 impl Wal {
     /// Creates a fresh, empty log at `path` (truncating any existing file),
-    /// with the header already durable.
+    /// with the header already durable, on the production filesystem.
     pub fn create(path: &Path, crash: CrashInjector) -> Result<Wal, DurabilityError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
-        header.extend_from_slice(WAL_MAGIC);
-        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
-        header.extend_from_slice(&[0, 0]);
-        file.write_all(&header)?;
+        Self::create_on(&RealFs, path, crash)
+    }
+
+    /// [`create`](Self::create) on an arbitrary [`StorageFs`].
+    pub fn create_on(
+        fs: &dyn StorageFs,
+        path: &Path,
+        crash: CrashInjector,
+    ) -> Result<Wal, DurabilityError> {
+        let mut file = fs.create_file(path)?;
+        file.write_all(&wal_header())?;
         file.sync_all()?;
         Ok(Wal {
             file,
@@ -321,6 +345,7 @@ impl Wal {
             crash,
             records: 0,
             bytes: WAL_HEADER_LEN,
+            poison: None,
         })
     }
 
@@ -335,15 +360,48 @@ impl Wal {
         path: &Path,
         crash: CrashInjector,
     ) -> Result<(Wal, Vec<Vec<u8>>, TailStatus), DurabilityError> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_on(&RealFs, path, crash)
+    }
+
+    /// [`open`](Self::open) on an arbitrary [`StorageFs`].
+    pub fn open_on(
+        fs: &dyn StorageFs,
+        path: &Path,
+        crash: CrashInjector,
+    ) -> Result<(Wal, Vec<Vec<u8>>, TailStatus), DurabilityError> {
+        let mut file = fs.open_file(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
+        if (bytes.len() as u64) < WAL_HEADER_LEN {
+            // Torn creation: a crash or I/O fault died inside `create_on`
+            // before the header became durable. The header is synced before
+            // any append is accepted, so no record was ever acknowledged
+            // through this file — rebuild it empty instead of refusing
+            // recovery. A *complete* header with wrong magic/version still
+            // fails below: that is corruption, not a tear.
+            file.set_len(0)?;
+            file.seek_start(0)?;
+            file.write_all(&wal_header())?;
+            file.sync_all()?;
+            return Ok((
+                Wal {
+                    file,
+                    path: path.to_path_buf(),
+                    crash,
+                    records: 0,
+                    bytes: WAL_HEADER_LEN,
+                    poison: None,
+                },
+                Vec::new(),
+                TailStatus::TornDiscarded,
+            ));
+        }
         let (payloads, valid_len, tail) = scan_records(&bytes)?;
         if valid_len < bytes.len() as u64 {
             file.set_len(valid_len)?;
             file.sync_all()?;
         }
-        file.seek(SeekFrom::Start(valid_len))?;
+        file.seek_start(valid_len)?;
         let records = payloads.len() as u64;
         Ok((
             Wal {
@@ -352,6 +410,7 @@ impl Wal {
                 crash,
                 records,
                 bytes: valid_len,
+                poison: None,
             },
             payloads,
             tail,
@@ -376,6 +435,7 @@ impl Wal {
             payload.len() as u64 <= u64::from(MAX_RECORD_LEN),
             "WAL record over MAX_RECORD_LEN"
         );
+        self.check_poison()?;
         self.crash.fire(CrashPoint::BeforeWalAppend)?;
         let len = (payload.len() as u32).to_le_bytes();
         let mut covered = Vec::with_capacity(4 + payload.len());
@@ -391,11 +451,23 @@ impl Wal {
             // Torn write: a strict prefix of the frame reaches the disk
             // before the process dies.
             let torn = (frame.len() / 2).max(1).min(frame.len() - 1);
-            self.file.write_all(&frame[..torn])?;
-            self.file.sync_all()?; // make the torn state visible to reopen
+            if let Err(ioe) = self.file.write_all(&frame[..torn]) {
+                self.poison = Some(format!("torn append write failed: {ioe}"));
+                return Err(DurabilityError::Io(ioe));
+            }
+            if let Err(ioe) = self.file.sync_all() {
+                // make the torn state visible to reopen
+                return Err(self.poison_sync("sync_all", &ioe));
+            }
             return Err(e);
         }
-        self.file.write_all(&frame)?;
+        if let Err(ioe) = self.file.write_all(&frame) {
+            // An unknown prefix of the frame may be on disk; a later append
+            // would land after garbage and turn a torn tail into mid-log
+            // corruption. Poison the handle so that cannot happen.
+            self.poison = Some(format!("append write failed: {ioe}"));
+            return Err(DurabilityError::Io(ioe));
+        }
         self.crash.fire(CrashPoint::AfterWalAppend)?;
         self.records += 1;
         self.bytes += frame.len() as u64;
@@ -404,10 +476,35 @@ impl Wal {
 
     /// Fsyncs everything appended so far (the group-commit barrier). On
     /// `Ok`, every previously appended record survives any subsequent crash.
+    ///
+    /// On `Err` the handle is permanently poisoned: the kernel may have
+    /// discarded the dirty pages, so nothing appended since the last
+    /// successful sync can ever be acknowledged from this handle.
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
-        self.file.sync_data()?;
+        self.check_poison()?;
+        if let Err(ioe) = self.file.sync_data() {
+            return Err(self.poison_sync("sync_data", &ioe));
+        }
         self.crash.fire(CrashPoint::AfterWalSync)?;
         Ok(())
+    }
+
+    /// Whether a failed write or sync has permanently poisoned this handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
+    fn check_poison(&self) -> Result<(), DurabilityError> {
+        match &self.poison {
+            Some(why) => Err(DurabilityError::SyncFailed(why.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn poison_sync(&mut self, op: &str, e: &std::io::Error) -> DurabilityError {
+        let why = format!("{op} on {}: {e}", self.path.display());
+        self.poison = Some(why.clone());
+        DurabilityError::SyncFailed(why)
     }
 
     /// Records appended or recovered so far.
@@ -544,6 +641,127 @@ fn chain_has_valid_frame(bytes: &[u8], mut from: usize) -> bool {
     }
 }
 
+/// One CRC-valid frame found by [`scan_frames`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Zero-based record index.
+    pub index: u64,
+    /// Byte offset of the frame header within the image.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+/// Overall classification of a WAL byte image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalVerdict {
+    /// Every frame checks out and the image ends on a record boundary.
+    Clean,
+    /// The *final* record is partial or checksum-failing — normal crash
+    /// residue; recovery truncates it without losing acknowledged state.
+    TornTail,
+    /// A bad frame is *followed by* valid data: damage inside the committed
+    /// prefix (bitrot or tampering). Recovery refuses to open such a log.
+    MidLogCorruption,
+    /// The image has no recognizable WAL header.
+    BadHeader,
+}
+
+impl WalVerdict {
+    /// Stable lowercase name (scrub reports, `walinspect` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            WalVerdict::Clean => "clean",
+            WalVerdict::TornTail => "torn_tail",
+            WalVerdict::MidLogCorruption => "mid_log_corruption",
+            WalVerdict::BadHeader => "bad_header",
+        }
+    }
+}
+
+/// Details of the first damaged frame, when any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadFrame {
+    /// Zero-based index the damaged frame would have had.
+    pub index: u64,
+    /// Byte offset where it starts.
+    pub offset: u64,
+    /// What failed.
+    pub reason: &'static str,
+}
+
+/// Frame-by-frame scan result: every valid frame plus a damage verdict.
+///
+/// Unlike [`scan_records`], producing this never errors — the scrubber and
+/// `walinspect` need to *classify* a damaged image, not refuse to look
+/// at it.
+#[derive(Debug, Clone)]
+pub struct FrameScan {
+    /// Every CRC-valid frame, in order.
+    pub frames: Vec<FrameInfo>,
+    /// Byte length of the valid prefix (header included); 0 for
+    /// [`WalVerdict::BadHeader`].
+    pub valid_len: u64,
+    /// Overall classification of the image.
+    pub verdict: WalVerdict,
+    /// The first damaged frame (`TornTail` / `MidLogCorruption` only).
+    pub bad: Option<BadFrame>,
+}
+
+/// Scans a WAL image frame by frame, classifying rather than erroring.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    if bytes.len() < WAL_HEADER_LEN as usize
+        || &bytes[..4] != WAL_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != WAL_VERSION
+    {
+        return FrameScan {
+            frames: Vec::new(),
+            valid_len: 0,
+            verdict: WalVerdict::BadHeader,
+            bad: None,
+        };
+    }
+    let mut frames = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    loop {
+        match frame_at(bytes, pos) {
+            FrameStatus::End => {
+                return FrameScan {
+                    frames,
+                    valid_len: pos as u64,
+                    verdict: WalVerdict::Clean,
+                    bad: None,
+                }
+            }
+            FrameStatus::Valid { payload, next } => {
+                frames.push(FrameInfo {
+                    index: frames.len() as u64,
+                    offset: pos as u64,
+                    len: payload.len() as u32,
+                });
+                pos = next;
+            }
+            FrameStatus::Bad { reason, skip_to } => {
+                let verdict = if skip_to.is_some_and(|o| chain_has_valid_frame(bytes, o)) {
+                    WalVerdict::MidLogCorruption
+                } else {
+                    WalVerdict::TornTail
+                };
+                return FrameScan {
+                    bad: Some(BadFrame {
+                        index: frames.len() as u64,
+                        offset: pos as u64,
+                        reason,
+                    }),
+                    frames,
+                    valid_len: pos as u64,
+                    verdict,
+                };
+            }
+        }
+    }
+}
+
 /// Atomically replaces `final_name` in `dir` with `payload`: temp write,
 /// fsync, rename, directory fsync. A crash at any hook leaves either the
 /// previous file or the new one fully intact — never a mix — because the
@@ -554,10 +772,27 @@ pub fn write_checkpoint(
     payload: &[u8],
     crash: &CrashInjector,
 ) -> Result<PathBuf, DurabilityError> {
+    write_checkpoint_on(&RealFs, dir, final_name, payload, crash)
+}
+
+/// [`write_checkpoint`] on an arbitrary [`StorageFs`].
+///
+/// Any failed sync (`sync_all` on the temp file, or the directory fsync
+/// that makes the rename durable) surfaces as
+/// [`DurabilityError::SyncFailed`]: the rotation is aborted and — because
+/// the rename is the last fallible publish step for the file sync — the
+/// previous checkpoint + WAL pair stays intact and readable.
+pub fn write_checkpoint_on(
+    fs: &dyn StorageFs,
+    dir: &Path,
+    final_name: &str,
+    payload: &[u8],
+    crash: &CrashInjector,
+) -> Result<PathBuf, DurabilityError> {
     let tmp = dir.join(format!("{final_name}.tmp"));
     let dst = dir.join(final_name);
     crash.fire(CrashPoint::BeforeCheckpointWrite)?;
-    let mut file = File::create(&tmp)?;
+    let mut file = fs.create_file(&tmp)?;
     if let Err(e) = crash.fire(CrashPoint::MidCheckpointWrite) {
         let torn = (payload.len() / 2).min(payload.len().saturating_sub(1));
         file.write_all(&payload[..torn])?;
@@ -566,13 +801,17 @@ pub fn write_checkpoint(
     }
     file.write_all(payload)?;
     crash.fire(CrashPoint::AfterCheckpointWrite)?;
-    file.sync_all()?;
+    file.sync_all().map_err(|e| {
+        DurabilityError::SyncFailed(format!("checkpoint sync_all on {}: {e}", tmp.display()))
+    })?;
     drop(file);
     crash.fire(CrashPoint::AfterCheckpointSync)?;
-    std::fs::rename(&tmp, &dst)?;
+    fs.rename(&tmp, &dst)?;
     crash.fire(CrashPoint::AfterCheckpointRename)?;
     // Make the rename itself durable.
-    File::open(dir)?.sync_all()?;
+    fs.sync_dir(dir).map_err(|e| {
+        DurabilityError::SyncFailed(format!("directory fsync on {}: {e}", dir.display()))
+    })?;
     Ok(dst)
 }
 
@@ -706,7 +945,8 @@ mod tests {
     fn bad_headers_rejected() {
         let dir = tmpdir("hdr");
         let path = dir.join("wal.0.log");
-        std::fs::write(&path, b"nope").expect("write");
+        // A complete header with wrong magic or version is corruption.
+        std::fs::write(&path, b"nope\x00\x00\x00\x00").expect("write");
         assert!(matches!(
             Wal::open(&path, CrashInjector::disabled()),
             Err(DurabilityError::BadWalHeader)
@@ -716,6 +956,25 @@ mod tests {
             Wal::open(&path, CrashInjector::disabled()),
             Err(DurabilityError::BadWalHeader)
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sub_header_file_is_a_torn_creation_and_rebuilds_empty() {
+        let dir = tmpdir("torncreate");
+        let path = dir.join("wal.0.log");
+        // A crash or I/O fault inside create_on leaves fewer than 8 bytes;
+        // nothing was ever acknowledged, so reopen rebuilds an empty log.
+        std::fs::write(&path, b"PWA").expect("write");
+        let (mut wal, payloads, tail) =
+            Wal::open(&path, CrashInjector::disabled()).expect("torn creation reopens");
+        assert!(payloads.is_empty());
+        assert_eq!(tail, TailStatus::TornDiscarded);
+        wal.append(b"first").expect("rebuilt log accepts appends");
+        drop(wal);
+        let (_, payloads, tail) = Wal::open(&path, CrashInjector::disabled()).expect("reopen");
+        assert_eq!(payloads, vec![b"first".to_vec()]);
+        assert_eq!(tail, TailStatus::Clean);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -811,6 +1070,192 @@ mod tests {
         ));
         let on_disk = std::fs::read(dir.join("checkpoint.bin")).expect("read");
         assert_eq!(on_disk, b"NEW-CHECKPOINT-PAYLOAD");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A [`StorageFs`] whose files fail every sync after the first
+    /// `ok_syncs` — the smallest possible model of a dying disk.
+    #[derive(Debug)]
+    struct FlakySyncFs {
+        ok_syncs: u64,
+        counter: Arc<AtomicU64>,
+    }
+
+    #[derive(Debug)]
+    struct FlakySyncFile {
+        inner: Box<dyn StorageFile>,
+        ok_syncs: u64,
+        counter: Arc<AtomicU64>,
+    }
+
+    impl FlakySyncFile {
+        fn tick(&self) -> std::io::Result<()> {
+            if self.counter.fetch_add(1, Ordering::Relaxed) >= self.ok_syncs {
+                Err(std::io::Error::other("injected EIO on fsync"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl StorageFile for FlakySyncFile {
+        fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+            self.inner.write_all(buf)
+        }
+        fn read_to_end(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+            self.inner.read_to_end(buf)
+        }
+        fn sync_data(&mut self) -> std::io::Result<()> {
+            self.tick()?;
+            self.inner.sync_data()
+        }
+        fn sync_all(&mut self) -> std::io::Result<()> {
+            self.tick()?;
+            self.inner.sync_all()
+        }
+        fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+            self.inner.set_len(len)
+        }
+        fn seek_start(&mut self, pos: u64) -> std::io::Result<()> {
+            self.inner.seek_start(pos)
+        }
+    }
+
+    impl StorageFs for FlakySyncFs {
+        fn create_file(&self, path: &Path) -> std::io::Result<Box<dyn StorageFile>> {
+            Ok(Box::new(FlakySyncFile {
+                inner: RealFs.create_file(path)?,
+                ok_syncs: self.ok_syncs,
+                counter: Arc::clone(&self.counter),
+            }))
+        }
+        fn open_file(&self, path: &Path) -> std::io::Result<Box<dyn StorageFile>> {
+            Ok(Box::new(FlakySyncFile {
+                inner: RealFs.open_file(path)?,
+                ok_syncs: self.ok_syncs,
+                counter: Arc::clone(&self.counter),
+            }))
+        }
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            RealFs.read(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            RealFs.write(path, bytes)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            RealFs.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            RealFs.remove_file(path)
+        }
+        fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            RealFs.create_dir_all(path)
+        }
+        fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+            RealFs.sync_dir(dir)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            RealFs.exists(path)
+        }
+        fn read_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+            RealFs.read_dir(dir)
+        }
+    }
+
+    #[test]
+    fn failed_sync_poisons_wal_and_never_acks_again() {
+        let dir = tmpdir("synfail");
+        let path = dir.join("wal.0.log");
+        // Creation syncs once (the header); the next sync — the first
+        // commit barrier — fails.
+        let fs = FlakySyncFs {
+            ok_syncs: 1,
+            counter: Arc::new(AtomicU64::new(0)),
+        };
+        let mut wal = Wal::create_on(&fs, &path, CrashInjector::disabled()).expect("create");
+        let err = wal.append(b"doomed").expect_err("sync must fail");
+        assert!(
+            matches!(err, DurabilityError::SyncFailed(_)),
+            "unexpected: {err}"
+        );
+        assert!(wal.is_poisoned());
+        // Poisoned handles refuse everything, even operations whose own
+        // syscalls would succeed: no retry-and-assume-durable.
+        let err = wal.append_unsynced(b"after").expect_err("poisoned");
+        assert!(matches!(err, DurabilityError::SyncFailed(_)));
+        let err = wal.sync().expect_err("poisoned");
+        assert!(matches!(err, DurabilityError::SyncFailed(_)));
+        drop(wal);
+        // Reopen on a healthy filesystem: the unacknowledged record may or
+        // may not have reached the platter; either way the log opens and
+        // holds only whole frames.
+        let (_, payloads, _) = Wal::open(&path, CrashInjector::disabled()).expect("reopen");
+        assert!(payloads.len() <= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_checkpoint_sync_aborts_rotation_with_old_file_intact() {
+        let dir = tmpdir("ckptsyncfail");
+        write_checkpoint(&dir, "checkpoint.bin", b"OLD", &CrashInjector::disabled()).expect("seed");
+        // The temp-file sync_all is the first sync in the rotation.
+        let fs = FlakySyncFs {
+            ok_syncs: 0,
+            counter: Arc::new(AtomicU64::new(0)),
+        };
+        let err = write_checkpoint_on(
+            &fs,
+            &dir,
+            "checkpoint.bin",
+            b"NEW",
+            &CrashInjector::disabled(),
+        )
+        .expect_err("sync must fail");
+        assert!(matches!(err, DurabilityError::SyncFailed(_)));
+        assert_eq!(
+            std::fs::read(dir.join("checkpoint.bin")).expect("read"),
+            b"OLD",
+            "aborted rotation must leave the previous checkpoint live"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_frames_classifies_every_damage_shape() {
+        let dir = tmpdir("frames");
+        let path = dir.join("wal.0.log");
+        let mut wal = Wal::create(&path, CrashInjector::disabled()).expect("create");
+        wal.append(&[0xAA; 24]).expect("append");
+        wal.append(&[0xBB; 24]).expect("append");
+        wal.append(&[0xCC; 24]).expect("append");
+        drop(wal);
+        let good = std::fs::read(&path).expect("read");
+
+        let scan = scan_frames(&good);
+        assert_eq!(scan.verdict, WalVerdict::Clean);
+        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.valid_len, good.len() as u64);
+        assert_eq!(scan.frames[0].offset, WAL_HEADER_LEN);
+        assert_eq!(scan.frames[0].len, 24);
+        assert!(scan.bad.is_none());
+
+        // Chop the tail: TornTail with two survivors.
+        let scan = scan_frames(&good[..good.len() - 5]);
+        assert_eq!(scan.verdict, WalVerdict::TornTail);
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.bad.expect("bad frame").index, 2);
+
+        // Flip a byte in the first record: MidLogCorruption at index 0.
+        let mut flipped = good.clone();
+        flipped[WAL_HEADER_LEN as usize + 8] ^= 0x01;
+        let scan = scan_frames(&flipped);
+        assert_eq!(scan.verdict, WalVerdict::MidLogCorruption);
+        assert!(scan.frames.is_empty());
+        let bad = scan.bad.expect("bad frame");
+        assert_eq!((bad.index, bad.offset), (0, WAL_HEADER_LEN));
+
+        // Garbage image: BadHeader.
+        assert_eq!(scan_frames(b"nope").verdict, WalVerdict::BadHeader);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -35,6 +35,7 @@ pub mod resilience;
 pub mod schema;
 pub mod select;
 pub mod sql;
+pub mod storage;
 pub mod table;
 pub mod testing;
 pub mod trapdoor;
@@ -51,6 +52,7 @@ pub use resilience::{FaultConfig, FaultInjector, RetryOracle, RetryPolicy};
 pub use schema::{AttrId, Schema, TupleId};
 pub use select::{conjunctive_scan, linear_scan, try_conjunctive_scan, try_linear_scan};
 pub use sql::{parse as parse_sql, ParsedQuery, SqlError};
+pub use storage::{real_fs, RealFs, StorageFile, StorageFs};
 pub use table::PlainTable;
 pub use trapdoor::{EncryptedPredicate, PredicateKind};
 pub use trusted::{QpfSession, TmConfig, TrustedMachine};

@@ -503,7 +503,7 @@ impl<P: WireCodec> PrkbClient<P> {
         }
     }
 
-    /// Fetches the server's `prkb-metrics/v3` JSON snapshot.
+    /// Fetches the server's `prkb-metrics/v4` JSON snapshot.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol, or server failure.

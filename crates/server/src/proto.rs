@@ -47,6 +47,11 @@ pub mod code {
     pub const DUPLICATE_DIMENSION: u16 = 40;
     /// The durable backing store failed; the refinement was not committed.
     pub const DURABILITY: u16 = 50;
+    /// A durability barrier (fsync) failed on a shard the request touches.
+    /// The shard is poisoned until its pool is reopened; no durable ack was
+    /// or will be issued for the lost writes. Requests routed to healthy
+    /// shards keep succeeding on the same connection.
+    pub const SYNC_FAILED: u16 = 51;
     /// The server is draining for shutdown and takes no new queries.
     pub const DRAINING: u16 = 60;
     /// Frame-level damage (reported back best-effort before closing).
@@ -118,7 +123,7 @@ pub enum Request<P> {
         /// The tuple to forget.
         tuple: TupleId,
     },
-    /// Fetch the `prkb-metrics/v3` JSON snapshot.
+    /// Fetch the `prkb-metrics/v4` JSON snapshot.
     MetricsSnapshot,
     /// Graceful shutdown: drain in-flight queries, then stop.
     Shutdown,
@@ -150,7 +155,7 @@ pub enum Response {
         /// Global commit sequence number.
         seq: u64,
     },
-    /// The `prkb-metrics/v3` JSON document.
+    /// The `prkb-metrics/v4` JSON document.
     Metrics {
         /// The rendered snapshot.
         json: String,
@@ -610,7 +615,7 @@ mod tests {
         });
         roundtrip_resp(Response::Deleted { seq: 5 });
         roundtrip_resp(Response::Metrics {
-            json: "{\"schema\":\"prkb-metrics/v3\"}".into(),
+            json: "{\"schema\":\"prkb-metrics/v4\"}".into(),
         });
         roundtrip_resp(Response::Error {
             code: code::MALFORMED,

@@ -58,7 +58,7 @@ use prkb_core::{
     ShardCommitter, ShardMap, ShardedDurablePool, SpPredicate,
 };
 use prkb_edbms::trapdoor::PredicateKind;
-use prkb_edbms::{AttrId, OracleError, SelectionOracle, TupleId};
+use prkb_edbms::{AttrId, DurabilityError, OracleError, SelectionOracle, TupleId};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -116,6 +116,12 @@ impl ServeError {
             ServeError::Query(QueryError::Oracle(e))
             | ServeError::Durable(DurableError::Query(QueryError::Oracle(e))) => {
                 oracle_wire_code(e)
+            }
+            // fsyncgate class: the disk lied about a durability barrier.
+            // Distinguished on the wire so clients know the shard is down
+            // until reopen (vs. a one-off durability error).
+            ServeError::Durable(DurableError::Storage(DurabilityError::SyncFailed(_))) => {
+                code::SYNC_FAILED
             }
             ServeError::Durable(_) => code::DURABILITY,
         }
@@ -439,8 +445,8 @@ impl<P: SpPredicate + WireCodec> SessionScheduler<P> {
     fn check_shard_poison(&self, sids: impl Iterator<Item = usize>) -> Result<(), ServeError> {
         for sid in sids {
             if let Some(committer) = &self.shards[sid].committer {
-                if committer.is_poisoned() {
-                    return Err(ServeError::Durable(DurableError::Poisoned));
+                if let Some(e) = committer.poison_error() {
+                    return Err(ServeError::Durable(e));
                 }
             }
         }
@@ -840,7 +846,13 @@ impl<P: SpPredicate + WireCodec> SessionScheduler<P> {
     /// for single-threaded use (server shutdown). Durable pools flush
     /// their pending batches first.
     pub fn into_engine(self) -> PrkbEngine<P> {
-        let _ = self.flush_durable();
+        // The signature can't carry the flush error (shutdown proceeds
+        // regardless — the WAL keeps whatever prefix made it to disk), but
+        // it must not vanish silently: a failed final flush means the last
+        // unacknowledged batch died with the process.
+        if let Err(e) = self.flush_durable() {
+            eprintln!("prkb-server: final durable flush failed during shutdown: {e}");
+        }
         self.reserve_all()
     }
 }
@@ -967,7 +979,7 @@ pub enum Backend<P: SpPredicate + WireCodec> {
     Shared(SessionScheduler<P>),
     /// Coarse-locked durable engine, serialized end to end: one fsync per
     /// committed operation, no evaluate-phase concurrency.
-    Durable(Mutex<DurableSlot<P>>),
+    Durable(Box<Mutex<DurableSlot<P>>>),
 }
 
 /// A durable engine plus its commit sequence counter.

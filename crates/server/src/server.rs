@@ -211,7 +211,7 @@ where
     ) -> io::Result<Self> {
         Self::bind_backend(
             addr,
-            Backend::Durable(Mutex::new(DurableSlot { engine, seq: 0 })),
+            Backend::Durable(Box::new(Mutex::new(DurableSlot { engine, seq: 0 }))),
             oracle,
             config,
         )

@@ -1,0 +1,161 @@
+//! Wire-level fsync-failure semantics: a poisoned shard must surface as a
+//! stable error code on the connection — never a connection drop — while
+//! requests routed to healthy shards keep succeeding on the same socket.
+
+use prkb_core::storage::{real_fs, FaultFs, IoFaultKind, IoFaultRule, IoOp};
+use prkb_core::{EngineConfig, ShardMap, ShardedDurablePool};
+use prkb_edbms::durability::CrashInjector;
+use prkb_edbms::testing::PlainOracle;
+use prkb_edbms::{ComparisonOp, Predicate};
+use prkb_server::{proto, ClientError, PrkbClient, PrkbServer, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ROWS: usize = 200;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct TmpDir(PathBuf);
+
+impl TmpDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "prkb-storage-wire-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        TmpDir(dir)
+    }
+}
+
+impl Drop for TmpDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn columns() -> Vec<Vec<u64>> {
+    vec![
+        (0..ROWS as u64).map(|i| (i * 37) % ROWS as u64).collect(),
+        (0..ROWS as u64).map(|i| (i * 101) % ROWS as u64).collect(),
+    ]
+}
+
+#[test]
+fn poisoned_shard_is_a_stable_wire_error_not_a_connection_drop() {
+    let dir = TmpDir::new("poison");
+    let oracle = PlainOracle::from_columns(columns());
+    let map = ShardMap::new(4);
+    let (sick_attr, healthy_attr) = (0u32, 1u32);
+    let sick_shard = map.shard_of(sick_attr);
+    assert_ne!(
+        sick_shard,
+        map.shard_of(healthy_attr),
+        "test needs the two attributes on different shards"
+    );
+    // Let the init commit on the doomed shard through, then fail the
+    // durability barrier of the first query commit it receives.
+    let inits_on_sick = [sick_attr, healthy_attr]
+        .iter()
+        .filter(|&&a| map.shard_of(a) == sick_shard)
+        .count() as u64;
+    let faults = FaultFs::scripted(
+        real_fs(),
+        vec![IoFaultRule {
+            op: Some(IoOp::SyncData),
+            path_contains: Some(format!("shard.{sick_shard}/")),
+            nth: inits_on_sick + 1,
+            kind: IoFaultKind::Eio,
+            sticky: false,
+        }],
+    );
+    let mut pool = ShardedDurablePool::<Predicate>::open_with_storage(
+        &dir.0,
+        EngineConfig::default(),
+        map,
+        CrashInjector::disabled(),
+        faults.handle(),
+    )
+    .expect("open pool");
+    pool.init_attr(sick_attr, ROWS).expect("init");
+    pool.init_attr(healthy_attr, ROWS).expect("init");
+
+    let server =
+        PrkbServer::bind_durable_pool("127.0.0.1:0", pool, oracle, ServerConfig::default())
+            .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.spawn().expect("spawn");
+
+    let mut client: PrkbClient<Predicate> = PrkbClient::connect(addr).expect("connect");
+
+    // The armed fsync fails the first commit on the sick shard: the reply
+    // is a structured SYNC_FAILED error, and the socket stays up.
+    let err = client
+        .select(1, Predicate::cmp(sick_attr, ComparisonOp::Lt, 120))
+        .expect_err("sick shard must refuse");
+    assert!(
+        matches!(err, ClientError::Server { code, .. } if code == proto::code::SYNC_FAILED),
+        "expected SYNC_FAILED wire code, got {err:?}"
+    );
+
+    // Same connection, healthy shard: still serving and committing.
+    let reply = client
+        .select(2, Predicate::cmp(healthy_attr, ComparisonOp::Lt, 90))
+        .expect("healthy shard keeps serving on the same connection");
+    assert_eq!(reply.tuples.len(), 90);
+
+    // The poison is permanent for this pool: the injected fault is spent
+    // (non-sticky), yet the sick shard still refuses with the same code —
+    // no retry-and-assume-durable behind the wire.
+    let err = client
+        .select(3, Predicate::cmp(sick_attr, ComparisonOp::Gt, 150))
+        .expect_err("poisoned shard must keep refusing");
+    assert!(
+        matches!(err, ClientError::Server { code, .. } if code == proto::code::SYNC_FAILED),
+        "expected SYNC_FAILED wire code, got {err:?}"
+    );
+
+    // And the healthy shard is still unaffected afterwards.
+    let reply = client
+        .select(4, Predicate::cmp(healthy_attr, ComparisonOp::Gt, 160))
+        .expect("healthy shard unaffected");
+    assert_eq!(reply.tuples.len(), ROWS - 161);
+
+    assert_eq!(faults.injected(), 1, "exactly the armed fault fired");
+
+    // Shutdown's final flush honestly reports the poisoned shard instead
+    // of acking a drain it cannot guarantee — but the server still drains
+    // and exits; healthy shards' commits are already on disk.
+    let err = client.shutdown().expect_err("drain over a poisoned shard");
+    assert!(
+        matches!(err, ClientError::Server { code, .. } if code == proto::code::SYNC_FAILED),
+        "expected SYNC_FAILED from the final flush, got {err:?}"
+    );
+    match handle.join() {
+        Ok(_) => panic!("join must not claim a clean drain over a poisoned shard"),
+        Err(e) => assert!(
+            e.to_string().contains("drain flush failed"),
+            "join error must name the failed drain, got: {e}"
+        ),
+    }
+
+    // Reopen over the real filesystem: the sick shard recovers its
+    // committed prefix (the init), the healthy shard everything it acked.
+    let pool =
+        ShardedDurablePool::<Predicate>::open(&dir.0, EngineConfig::default(), ShardMap::new(4))
+            .expect("reopen");
+    let sick_engine = pool.shard_engine(sick_shard);
+    let kb = sick_engine.knowledge(sick_attr).expect("attr indexed");
+    kb.check_invariants();
+    let healthy_engine = pool.shard_engine(map.shard_of(healthy_attr));
+    let kb = healthy_engine
+        .knowledge(healthy_attr)
+        .expect("attr indexed");
+    kb.check_invariants();
+    assert!(
+        kb.k() > 1,
+        "healthy shard must have durably committed its refinements"
+    );
+}

@@ -10,7 +10,7 @@
 
 use prkb::core::durability::{decode_txn, TxnEntry};
 use prkb::core::RefinementOp;
-use prkb::edbms::durability::{scan_records, DurabilityError, TailStatus, WAL_HEADER_LEN};
+use prkb::edbms::durability::{scan_frames, WalVerdict};
 use prkb::edbms::{EncryptedPredicate, Predicate};
 use std::path::{Path, PathBuf};
 
@@ -54,36 +54,57 @@ fn describe(payload: &[u8]) -> String {
 fn inspect(path: &Path) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
     println!("== {} ({} bytes) ==", path.display(), bytes.len());
-    match scan_records(&bytes) {
-        Ok((records, valid_len, tail)) => {
-            let mut offset = WAL_HEADER_LEN;
-            for (i, rec) in records.iter().enumerate() {
-                println!(
-                    "  record {i:>4}  offset {offset:>8}  {:>6} payload bytes  {}",
-                    rec.len(),
-                    describe(rec)
-                );
-                offset += 8 + rec.len() as u64;
-            }
-            match tail {
-                TailStatus::Clean => println!("  tail: clean ({} records)", records.len()),
-                TailStatus::TornDiscarded => println!(
-                    "  tail: TORN — {} trailing bytes after offset {valid_len} are not a \
-                     valid frame and would be discarded on recovery",
-                    bytes.len() as u64 - valid_len
-                ),
-            }
+    let scan = scan_frames(&bytes);
+    for f in &scan.frames {
+        let payload = &bytes[f.offset as usize + 8..f.offset as usize + 8 + f.len as usize];
+        // The per-frame scrub verdict: CRC validity alone is not enough —
+        // a frame whose payload does not decode as a transaction would
+        // still make recovery refuse the log.
+        let (verdict, detail) = match_payload(payload);
+        println!(
+            "  record {:>4}  offset {:>8}  {:>6} payload bytes  [{verdict}]  {detail}",
+            f.index, f.offset, f.len
+        );
+    }
+    match scan.verdict {
+        WalVerdict::Clean => {
+            println!("  verdict: clean ({} records)", scan.frames.len());
             Ok(())
         }
-        Err(DurabilityError::CorruptRecord {
-            record,
-            offset,
-            reason,
-        }) => Err(format!(
-            "HARD CORRUPTION at record {record} (offset {offset}): {reason} — valid \
-             frames follow, so recovery refuses this log"
-        )),
-        Err(e) => Err(format!("unreadable WAL: {e}")),
+        WalVerdict::TornTail => {
+            let bad = scan.bad.expect("torn tail reports its bad frame");
+            println!(
+                "  verdict: torn_tail — record {} (offset {}) is partial ({}); the {} \
+                 trailing bytes after offset {} would be discarded on recovery",
+                bad.index,
+                bad.offset,
+                bad.reason,
+                bytes.len() as u64 - scan.valid_len,
+                scan.valid_len
+            );
+            Ok(())
+        }
+        WalVerdict::MidLogCorruption => {
+            let bad = scan.bad.expect("mid-log corruption reports its bad frame");
+            Err(format!(
+                "verdict: mid_log_corruption — record {} (offset {}): {} — valid frames \
+                 follow, so recovery refuses this log",
+                bad.index, bad.offset, bad.reason
+            ))
+        }
+        WalVerdict::BadHeader => Err("verdict: bad_header — not a PRKB WAL".into()),
+    }
+}
+
+/// Per-frame verdict: `ok` when the payload decodes as a transaction under
+/// either codec, `undecodable` otherwise.
+fn match_payload(payload: &[u8]) -> (&'static str, String) {
+    match decode_txn::<EncryptedPredicate>(payload) {
+        Ok(_) => ("ok", describe(payload)),
+        Err(_) => match decode_txn::<Predicate>(payload) {
+            Ok(_) => ("ok", describe(payload)),
+            Err(e) => ("undecodable", format!("{e}")),
+        },
     }
 }
 
